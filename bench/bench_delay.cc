@@ -1,0 +1,70 @@
+// E3 + E4 + E5 (Theorem 2): delay O(lambda x |A|), independent of |D|.
+//
+// E3: a fixed bubble-chain core (2^12 answers) embedded in a noise graph
+//     of growing size — max and mean delay must stay flat as |D| grows.
+// E4: star-of-chains with depth sweep — delay grows linearly in lambda.
+// E5: fixed data, staircase query width sweep — delay grows linearly in
+//     |Delta|.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "core/annotate.h"
+#include "core/enumerator.h"
+#include "core/trimmed_index.h"
+#include "workload/generators.h"
+#include "workload/queries.h"
+
+namespace dsw {
+namespace {
+
+void RunDelayBench(benchmark::State& state, const Instance& inst,
+                   const Nfa& query) {
+  Annotation ann = Annotate(inst.db, query, inst.source, inst.target);
+  TrimmedIndex index(inst.db, ann);
+  bench::DelayProfile profile;
+  for (auto _ : state) {
+    TrimmedEnumerator en(inst.db, ann, index, inst.source, inst.target);
+    profile = bench::MeasureDelays(&en);
+  }
+  bench::ReportDelays(state, profile);
+  state.counters["lambda"] = static_cast<double>(ann.lambda);
+  state.counters["db_size"] = static_cast<double>(inst.db.size());
+  state.counters["transitions"] =
+      static_cast<double>(query.num_transitions());
+}
+
+// E3: delay must not depend on |D|. Arg: noise edges (x1000).
+void BM_Delay_VsDbSize(benchmark::State& state) {
+  Instance core = BubbleChain(12, 2);
+  uint32_t noise_edges = static_cast<uint32_t>(state.range(0)) * 1000;
+  Instance inst = EmbedInNoise(core, noise_edges / 4 + 1, noise_edges, 41);
+  Nfa query = StaircaseNfa(1, 2);
+  RunDelayBench(state, inst, query);
+}
+BENCHMARK(BM_Delay_VsDbSize)->RangeMultiplier(4)->Range(1, 256)
+    ->Unit(benchmark::kMillisecond);
+
+// E4: delay linear in lambda. Arg: chain depth = lambda.
+void BM_Delay_VsLambda(benchmark::State& state) {
+  Instance inst = StarOfChains(64, static_cast<uint32_t>(state.range(0)), 2);
+  Nfa query = StaircaseNfa(1, 2);
+  RunDelayBench(state, inst, query);
+}
+BENCHMARK(BM_Delay_VsLambda)->RangeMultiplier(2)->Range(4, 256)
+    ->Unit(benchmark::kMillisecond);
+
+// E5: delay linear in |A|. Arg: number of states of a complete automaton
+// (every state reaches every state on every label), which maximizes the
+// certificate sets and the B-list sizes — the quantities behind the
+// O(lambda x |A|) delay bound.
+void BM_Delay_VsAutomatonSize(benchmark::State& state) {
+  Instance inst = BubbleChain(10, 2);
+  Nfa query = CompleteNfa(static_cast<uint32_t>(state.range(0)), 2);
+  RunDelayBench(state, inst, query);
+}
+BENCHMARK(BM_Delay_VsAutomatonSize)->RangeMultiplier(2)->Range(2, 32)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dsw

@@ -1,0 +1,73 @@
+// E10 (introduction, [11, 17] setting): single-labeled data +
+// deterministic query.
+//
+// The simple-setting algorithm achieves O(lambda) delay; the general
+// algorithm pays the certificate machinery for an O(lambda x |A|) delay.
+// Grids with the any-word DFA expose the gap; detection of the setting
+// (Applicable) is also timed.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "core/annotate.h"
+#include "core/enumerator.h"
+#include "core/simple_enumerator.h"
+#include "core/trimmed_index.h"
+#include "workload/generators.h"
+#include "workload/queries.h"
+
+namespace dsw {
+namespace {
+
+// lambda on an n x n grid is 2(n-1).
+Nfa GridDfa(int64_t n) {
+  return AnyKDfa(2 * (static_cast<uint32_t>(n) - 1), 1);
+}
+
+void BM_FastPath_Simple(benchmark::State& state) {
+  Instance inst = Grid(static_cast<uint32_t>(state.range(0)),
+                       static_cast<uint32_t>(state.range(0)));
+  Nfa dfa = GridDfa(state.range(0));
+  if (!SimpleEnumerator::Applicable(inst.db, dfa)) {
+    state.SkipWithError("fast path unexpectedly not applicable");
+    return;
+  }
+  bench::DelayProfile profile;
+  for (auto _ : state) {
+    SimpleEnumerator en(inst.db, dfa, inst.source, inst.target);
+    profile = bench::MeasureDelays(&en);
+  }
+  bench::ReportDelays(state, profile);
+}
+BENCHMARK(BM_FastPath_Simple)->DenseRange(6, 14, 2)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FastPath_GeneralAlgorithm(benchmark::State& state) {
+  Instance inst = Grid(static_cast<uint32_t>(state.range(0)),
+                       static_cast<uint32_t>(state.range(0)));
+  Nfa dfa = GridDfa(state.range(0));
+  bench::DelayProfile profile;
+  for (auto _ : state) {
+    Annotation ann = Annotate(inst.db, dfa, inst.source, inst.target);
+    TrimmedIndex index(inst.db, ann);
+    TrimmedEnumerator en(inst.db, ann, index, inst.source, inst.target);
+    profile = bench::MeasureDelays(&en);
+  }
+  bench::ReportDelays(state, profile);
+}
+BENCHMARK(BM_FastPath_GeneralAlgorithm)->DenseRange(6, 14, 2)
+    ->Unit(benchmark::kMillisecond);
+
+// Setting detection (the paper: "it takes linear time to check").
+void BM_FastPath_Detection(benchmark::State& state) {
+  Instance inst = Grid(static_cast<uint32_t>(state.range(0)),
+                       static_cast<uint32_t>(state.range(0)));
+  Nfa dfa = GridDfa(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SimpleEnumerator::Applicable(inst.db, dfa));
+  }
+}
+BENCHMARK(BM_FastPath_Detection)->DenseRange(6, 14, 4);
+
+}  // namespace
+}  // namespace dsw

@@ -1,0 +1,93 @@
+// E1 + E2 (Theorem 2): preprocessing time O(|D| x |A|).
+//
+// E1: fixed query, layered databases with |E| doubling — expect time per
+//     edge to stay roughly constant (linearity in |D|).
+// E2: fixed database, query automata with |Delta| doubling — expect time
+//     per transition to stay roughly constant (linearity in |A|).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "core/annotate.h"
+#include "core/trimmed_index.h"
+#include "workload/generators.h"
+#include "workload/queries.h"
+
+namespace dsw {
+namespace {
+
+// E1: |D| sweep at fixed |A|. Arg: layer width multiplier.
+void BM_Preprocess_VsDbSize(benchmark::State& state) {
+  LayeredGraphParams params;
+  params.layers = 16;
+  params.width = static_cast<uint32_t>(state.range(0));
+  params.edges_per_vertex = 8;
+  params.num_labels = 2;
+  params.extra_labels = 1;
+  params.multi_label_p = 0.3;
+  params.seed = 17;
+  Instance inst = LayeredGraph(params);
+  Nfa query = StaircaseNfa(2, 2);
+
+  for (auto _ : state) {
+    Annotation ann = Annotate(inst.db, query, inst.source, inst.target);
+    TrimmedIndex index(inst.db, ann);
+    benchmark::DoNotOptimize(index.num_slots());
+  }
+  state.counters["edges"] = static_cast<double>(inst.db.num_edges());
+  state.counters["db_size"] = static_cast<double>(inst.db.size());
+  state.counters["ns_per_edge"] = benchmark::Counter(
+      static_cast<double>(inst.db.num_edges()),
+      benchmark::Counter::kIsIterationInvariantRate |
+          benchmark::Counter::kInvert);
+}
+BENCHMARK(BM_Preprocess_VsDbSize)->RangeMultiplier(2)->Range(16, 512);
+
+// E2: |A| sweep at fixed |D|. Arg: staircase width (|Delta| ~ 4 x width).
+void BM_Preprocess_VsAutomatonSize(benchmark::State& state) {
+  LayeredGraphParams params;
+  params.layers = 12;
+  params.width = 48;
+  params.edges_per_vertex = 6;
+  params.num_labels = 2;
+  params.extra_labels = 1;
+  params.multi_label_p = 0.3;
+  params.seed = 23;
+  Instance inst = LayeredGraph(params);
+  Nfa query = StaircaseNfa(static_cast<uint32_t>(state.range(0)), 2);
+
+  for (auto _ : state) {
+    Annotation ann = Annotate(inst.db, query, inst.source, inst.target);
+    TrimmedIndex index(inst.db, ann);
+    benchmark::DoNotOptimize(index.num_slots());
+  }
+  state.counters["transitions"] =
+      static_cast<double>(query.num_transitions());
+  state.counters["ns_per_transition"] = benchmark::Counter(
+      static_cast<double>(query.num_transitions()),
+      benchmark::Counter::kIsIterationInvariantRate |
+          benchmark::Counter::kInvert);
+}
+BENCHMARK(BM_Preprocess_VsAutomatonSize)->RangeMultiplier(2)->Range(2, 64);
+
+// E2b: densest possible query (complete automaton) to stress |Delta|.
+void BM_Preprocess_CompleteQuery(benchmark::State& state) {
+  LayeredGraphParams params;
+  params.layers = 10;
+  params.width = 32;
+  params.edges_per_vertex = 4;
+  params.seed = 29;
+  Instance inst = LayeredGraph(params);
+  Nfa query = CompleteNfa(static_cast<uint32_t>(state.range(0)), 2);
+
+  for (auto _ : state) {
+    Annotation ann = Annotate(inst.db, query, inst.source, inst.target);
+    benchmark::DoNotOptimize(ann.lambda);
+  }
+  state.counters["transitions"] =
+      static_cast<double>(query.num_transitions());
+}
+BENCHMARK(BM_Preprocess_CompleteQuery)->RangeMultiplier(2)->Range(2, 16);
+
+}  // namespace
+}  // namespace dsw

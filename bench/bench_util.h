@@ -1,0 +1,63 @@
+// Shared helpers for the benchmark harness: delay measurement and
+// common counters. Delay is the wall-clock gap between two consecutive
+// outputs of an enumerator (the quantity bounded by Theorem 2), measured
+// with the steady clock around Next().
+
+#ifndef DSW_BENCH_BENCH_UTIL_H_
+#define DSW_BENCH_BENCH_UTIL_H_
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdint>
+
+#include "util/stopwatch.h"
+
+namespace dsw::bench {
+
+/// \brief Delay distribution of one enumeration run.
+struct DelayProfile {
+  uint64_t outputs = 0;
+  int64_t max_delay_ns = 0;
+  int64_t total_ns = 0;
+
+  double mean_delay_ns() const {
+    return outputs == 0 ? 0.0
+                        : static_cast<double>(total_ns) /
+                              static_cast<double>(outputs);
+  }
+};
+
+/// \brief Drains \p en (already positioned on its first answer), timing
+/// each Next() gap, up to \p max_outputs answers (answer sets can be
+/// exponential; delays are i.i.d. across the run, so a bounded sample is
+/// representative). The gap before the first answer counts as
+/// preprocessing, not delay.
+template <typename Enumerator>
+DelayProfile MeasureDelays(Enumerator* en, uint64_t max_outputs = 200000) {
+  DelayProfile profile;
+  Stopwatch total;
+  while (en->Valid() && profile.outputs < max_outputs) {
+    benchmark::DoNotOptimize(en->walk().edges.data());
+    ++profile.outputs;
+    Stopwatch gap;
+    en->Next();
+    int64_t ns = gap.ElapsedNs();
+    profile.max_delay_ns = std::max(profile.max_delay_ns, ns);
+  }
+  profile.total_ns = total.ElapsedNs();
+  return profile;
+}
+
+/// \brief Publishes a delay profile as benchmark counters.
+inline void ReportDelays(benchmark::State& state,
+                         const DelayProfile& profile) {
+  state.counters["outputs"] = static_cast<double>(profile.outputs);
+  state.counters["max_delay_ns"] =
+      static_cast<double>(profile.max_delay_ns);
+  state.counters["mean_delay_ns"] = profile.mean_delay_ns();
+}
+
+}  // namespace dsw::bench
+
+#endif  // DSW_BENCH_BENCH_UTIL_H_
