@@ -1,0 +1,103 @@
+// The introduction's strawman: enumerate shortest *product paths*
+// (walk, run) pairs and deduplicate walks afterwards. Every extra
+// accepting run of a walk is a duplicate, and nondeterministic queries
+// have exponentially many runs per walk — the blow-up E7 measures.
+//
+// The search is restricted to level-consistent product edges (the BFS
+// annotation), i.e. this is the strongest naive variant: it never
+// wanders off shortest paths, and still drowns in duplicates.
+
+#ifndef DSW_BASELINE_NAIVE_H_
+#define DSW_BASELINE_NAIVE_H_
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "core/annotate.h"
+#include "core/database.h"
+#include "core/nfa.h"
+#include "core/walk.h"
+
+namespace dsw {
+
+struct NaiveResult {
+  std::vector<Walk> walks;        // distinct answers
+  uint64_t paths_generated = 0;   // complete length-lambda product paths
+  uint64_t duplicates = 0;        // accepting paths whose walk was seen
+  int32_t lambda = -1;
+  bool budget_exhausted = false;
+};
+
+namespace naive_detail {
+
+struct Search {
+  const Database* db;
+  const Annotation* ann;
+  uint32_t target;
+  uint64_t max_paths;
+  NaiveResult* res;
+  std::set<std::vector<uint32_t>>* seen;
+  std::vector<uint32_t>* prefix;
+
+  void Run(uint32_t v, uint32_t q, uint32_t depth) {
+    if (res->budget_exhausted) return;
+    if (depth == static_cast<uint32_t>(ann->lambda)) {
+      if (res->paths_generated >= max_paths) {
+        res->budget_exhausted = true;
+        return;
+      }
+      ++res->paths_generated;
+      if (v != target || !ann->final_states.Test(q)) return;
+      if (seen->insert(*prefix).second)
+        res->walks.push_back(Walk{*prefix});
+      else
+        ++res->duplicates;
+      return;
+    }
+    for (uint32_t e : db->OutEdges(v)) {
+      const Edge& edge = db->edge(e);
+      const StateSet* next = ann->StatesAt(depth + 1, edge.dst);
+      if (next == nullptr) continue;
+      for (const auto& [label, to] : ann->transitions[q]) {
+        if (label != edge.label || !next->Test(to)) continue;
+        prefix->push_back(e);
+        Run(edge.dst, to, depth + 1);
+        prefix->pop_back();
+        if (res->budget_exhausted) return;
+      }
+    }
+  }
+};
+
+}  // namespace naive_detail
+
+/// Enumerates distinct shortest walks the naive way. \p max_paths caps
+/// the number of complete product paths generated (the answer set can be
+/// exponential); NaiveResult::budget_exhausted reports a truncated run.
+inline NaiveResult NaiveDistinctShortestWalks(const Database& db,
+                                              const Nfa& query,
+                                              uint32_t source,
+                                              uint32_t target,
+                                              uint64_t max_paths = uint64_t{1}
+                                                                   << 28) {
+  NaiveResult res;
+  Annotation ann = Annotate(db, query, source, target);
+  res.lambda = ann.lambda;
+  if (!ann.reachable()) return res;
+
+  std::set<std::vector<uint32_t>> seen;
+  std::vector<uint32_t> prefix;
+  naive_detail::Search search{&db, &ann, target, max_paths, &res, &seen,
+                              &prefix};
+  // One search per initial state: a run fixes its starting state.
+  query.initial().ForEach([&](uint32_t q0) {
+    if (const StateSet* l0 = ann.StatesAt(0, source); l0 && l0->Test(q0))
+      search.Run(source, q0, 0);
+  });
+  return res;
+}
+
+}  // namespace dsw
+
+#endif  // DSW_BASELINE_NAIVE_H_

@@ -1,0 +1,79 @@
+#include "core/annotate.h"
+
+#include <utility>
+
+namespace dsw {
+
+Annotation Annotate(const Database& db, const Nfa& query, uint32_t source,
+                    uint32_t target) {
+  Annotation ann;
+  ann.num_states = query.num_states();
+  ann.source = source;
+  ann.target = target;
+  ann.transitions.reserve(query.num_states());
+  for (uint32_t q = 0; q < query.num_states(); ++q)
+    ann.transitions.push_back(query.Transitions(q));
+  ann.final_states = query.final_states();
+
+  if (source >= db.num_vertices() || target >= db.num_vertices() ||
+      query.num_states() == 0 || query.initial().None())
+    return ann;
+
+  // seen[v] marks product pairs already assigned a level; allocated
+  // lazily so the BFS stays O(visited), not O(|V| x |Q|).
+  std::vector<StateSet> seen(db.num_vertices());
+  auto mark = [&](uint32_t v, uint32_t q) -> bool {
+    StateSet& s = seen[v];
+    if (s.capacity() == 0) s.Resize(query.num_states());
+    if (s.Test(q)) return false;
+    s.Set(q);
+    return true;
+  };
+
+  std::unordered_map<uint32_t, StateSet> frontier;
+  StateSet init = query.initial();
+  init.ForEach([&](uint32_t q) { mark(source, q); });
+  frontier.emplace(source, std::move(init));
+
+  auto accepts_here = [&](const std::unordered_map<uint32_t, StateSet>& lvl) {
+    auto it = lvl.find(target);
+    return it != lvl.end() && it->second.Intersects(query.final_states());
+  };
+
+  while (!frontier.empty()) {
+    ann.levels.push_back(std::move(frontier));
+    const auto& current = ann.levels.back();
+    uint32_t level = static_cast<uint32_t>(ann.levels.size() - 1);
+    if (accepts_here(current)) {
+      ann.lambda = static_cast<int32_t>(level);
+      return ann;
+    }
+
+    std::unordered_map<uint32_t, StateSet> next;
+    for (const auto& [v, states] : current) {
+      for (uint32_t e : db.OutEdges(v)) {
+        const Edge& edge = db.edge(e);
+        StateSet* dst_states = nullptr;
+        states.ForEach([&](uint32_t q) {
+          for (const auto& [label, to] : query.Transitions(q)) {
+            if (label != edge.label) continue;
+            if (!mark(edge.dst, to)) continue;
+            if (dst_states == nullptr) {
+              auto [it, inserted] =
+                  next.try_emplace(edge.dst, StateSet(query.num_states()));
+              dst_states = &it->second;
+            }
+            dst_states->Set(to);
+          }
+        });
+      }
+    }
+    frontier = std::move(next);
+  }
+
+  // Product exhausted without reaching (target, final): no answer.
+  ann.levels.clear();
+  return ann;
+}
+
+}  // namespace dsw

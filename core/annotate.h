@@ -1,0 +1,66 @@
+// Stage 1 of the pipeline: BFS over the product D x A from
+// (source, initial states), recording for every level i <= lambda the set
+// of states q such that (v, q) is at BFS distance exactly i. lambda is
+// the length of the shortest walk from source to target whose label word
+// the query accepts (-1 when none exists).
+//
+// Key property used downstream (trimming and enumeration): for any
+// *shortest* answer walk v_0 ... v_lambda and any accepting run
+// q_0 ... q_lambda over it, the BFS distance of (v_i, q_i) is exactly i —
+// a smaller distance would splice into a shorter accepting walk. So the
+// per-level annotation captures every run of every answer, and each
+// product pair lives on exactly one level.
+//
+// Cost: O(|D| x |A|) — each product edge (e, t) with e in E and t in
+// Delta is relaxed at most once.
+//
+// The annotation also snapshots the query's transition table and final
+// states so the later stages (TrimmedIndex, enumerators, whose
+// bench-fixed constructors do not receive the Nfa) need no reference
+// back to it.
+
+#ifndef DSW_CORE_ANNOTATE_H_
+#define DSW_CORE_ANNOTATE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/database.h"
+#include "core/nfa.h"
+#include "util/state_set.h"
+
+namespace dsw {
+
+struct Annotation {
+  /// Length of the shortest accepting walk; -1 if target is unreachable
+  /// under the query.
+  int32_t lambda = -1;
+  uint32_t num_states = 0;
+  uint32_t source = 0;
+  uint32_t target = 0;
+
+  /// levels[i]: vertex -> states q with BFS distance of (v, q) exactly i.
+  /// Populated for i in [0, lambda] when reachable() is true.
+  std::vector<std::unordered_map<uint32_t, StateSet>> levels;
+
+  /// Snapshot of the query, for the Nfa-free downstream stages.
+  std::vector<Nfa::TransitionList> transitions;
+  StateSet final_states;
+
+  bool reachable() const { return lambda >= 0; }
+
+  /// States annotated at (level, v), or nullptr if none.
+  const StateSet* StatesAt(uint32_t level, uint32_t v) const {
+    if (level >= levels.size()) return nullptr;
+    auto it = levels[level].find(v);
+    return it == levels[level].end() ? nullptr : &it->second;
+  }
+};
+
+Annotation Annotate(const Database& db, const Nfa& query, uint32_t source,
+                    uint32_t target);
+
+}  // namespace dsw
+
+#endif  // DSW_CORE_ANNOTATE_H_

@@ -1,0 +1,101 @@
+// Edge-labeled graph database D = (V, Sigma, E) with E a multiset of
+// (src, label, dst) triples. Walks are sequences of *edge ids*, so two
+// parallel edges between the same endpoints (even with distinct labels)
+// yield distinct walks — the "distinct walk" granularity of the paper.
+//
+// Vertices and labels are dense uint32_t ids; LabelDictionary maps the
+// human-readable label names used by workloads ("a", "b", "l0", ...) to
+// ids and back.
+
+#ifndef DSW_CORE_DATABASE_H_
+#define DSW_CORE_DATABASE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace dsw {
+
+class LabelDictionary {
+ public:
+  static constexpr uint32_t kInvalid = UINT32_MAX;
+
+  /// Returns the id of \p name, creating it if needed.
+  uint32_t Intern(std::string_view name) {
+    auto it = index_.find(std::string(name));
+    if (it != index_.end()) return it->second;
+    uint32_t id = static_cast<uint32_t>(names_.size());
+    names_.emplace_back(name);
+    index_.emplace(names_.back(), id);
+    return id;
+  }
+
+  /// Returns the id of \p name or kInvalid if unknown.
+  uint32_t Find(std::string_view name) const {
+    auto it = index_.find(std::string(name));
+    return it == index_.end() ? kInvalid : it->second;
+  }
+
+  const std::string& Name(uint32_t id) const { return names_[id]; }
+  uint32_t size() const { return static_cast<uint32_t>(names_.size()); }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, uint32_t> index_;
+};
+
+struct Edge {
+  uint32_t src;
+  uint32_t dst;
+  uint32_t label;
+};
+
+class Database {
+ public:
+  uint32_t AddVertex() {
+    out_.emplace_back();
+    return static_cast<uint32_t>(out_.size() - 1);
+  }
+
+  /// Adds \p n vertices; returns the id of the first.
+  uint32_t AddVertices(uint32_t n) {
+    uint32_t first = num_vertices();
+    out_.resize(out_.size() + n);
+    return first;
+  }
+
+  /// Adds an edge with an already-interned label id; returns the edge id.
+  uint32_t AddEdge(uint32_t src, uint32_t label, uint32_t dst) {
+    uint32_t id = static_cast<uint32_t>(edges_.size());
+    edges_.push_back(Edge{src, dst, label});
+    out_[src].push_back(id);
+    return id;
+  }
+
+  /// Adds an edge by label name, interning it on first use.
+  uint32_t AddEdge(uint32_t src, std::string_view label, uint32_t dst) {
+    return AddEdge(src, labels_.Intern(label), dst);
+  }
+
+  uint32_t num_vertices() const { return static_cast<uint32_t>(out_.size()); }
+  size_t num_edges() const { return edges_.size(); }
+  /// |D| as used in the paper's complexity statements: |V| + |E|.
+  size_t size() const { return num_vertices() + num_edges(); }
+
+  const Edge& edge(uint32_t id) const { return edges_[id]; }
+  const std::vector<uint32_t>& OutEdges(uint32_t v) const { return out_[v]; }
+
+  LabelDictionary& labels() { return labels_; }
+  const LabelDictionary& labels() const { return labels_; }
+
+ private:
+  std::vector<Edge> edges_;
+  std::vector<std::vector<uint32_t>> out_;  // vertex -> edge ids
+  LabelDictionary labels_;
+};
+
+}  // namespace dsw
+
+#endif  // DSW_CORE_DATABASE_H_

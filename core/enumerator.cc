@@ -1,0 +1,81 @@
+#include "core/enumerator.h"
+
+#include <cassert>
+
+namespace dsw {
+
+TrimmedEnumerator::TrimmedEnumerator(const Database& db,
+                                     const Annotation& ann,
+                                     const TrimmedIndex& index,
+                                     uint32_t source, uint32_t target)
+    : db_(&db), index_(&index), lambda_(ann.lambda) {
+  // The endpoints are baked into the annotation and index; the
+  // parameters exist for symmetry with the rest of the pipeline and a
+  // mismatch is a caller bug, not a valid different query.
+  assert(source == ann.source && target == ann.target);
+  (void)source;
+  (void)target;
+  if (!ann.reachable() || index.empty()) return;
+  const StateSet* r0 = index.Useful(0, ann.source);
+  if (r0 == nullptr || r0->None()) return;
+
+  stack_.resize(static_cast<size_t>(lambda_) + 1);
+  for (Frame& f : stack_) f.states = StateSet(ann.num_states);
+  stack_[0].vertex = ann.source;
+  stack_[0].states = *r0;
+  depth_ = 0;
+  if (lambda_ == 0) {
+    valid_ = true;  // the single empty walk
+    return;
+  }
+  FindNext();
+}
+
+void TrimmedEnumerator::Next() {
+  if (!valid_) return;
+  valid_ = false;
+  if (depth_ == 0) return;  // lambda == 0: the empty walk was the answer
+  --depth_;                 // leave the complete answer
+  walk_.edges.pop_back();
+  FindNext();
+}
+
+void TrimmedEnumerator::FindNext() {
+  // Invariant: depth_ < lambda on entry. Depth-lambda frames are
+  // complete answers and are returned (and later popped) immediately.
+  while (true) {
+    Frame& f = stack_[depth_];
+    const auto& cand = index_->Candidates(depth_, f.vertex);
+    bool pushed = false;
+    while (f.edge_pos < cand.size()) {
+      const TrimmedIndex::CandidateEdge& ce = cand[f.edge_pos++];
+      Frame& next = stack_[depth_ + 1];
+      next.states.ZeroAll();
+      bool any = false;
+      for (const auto& [q, to] : ce.moves) {
+        if (!f.states.Test(q)) continue;
+        next.states.Set(to);
+        any = true;
+      }
+      if (!any) continue;  // no run of the prefix takes this edge
+      next.vertex = db_->edge(ce.edge).dst;
+      next.edge_pos = 0;
+      walk_.edges.push_back(ce.edge);
+      ++depth_;
+      pushed = true;
+      break;
+    }
+    if (pushed) {
+      if (static_cast<int32_t>(depth_) == lambda_) {
+        valid_ = true;
+        return;
+      }
+      continue;
+    }
+    if (depth_ == 0) return;  // root exhausted: enumeration done
+    --depth_;
+    walk_.edges.pop_back();
+  }
+}
+
+}  // namespace dsw

@@ -1,0 +1,73 @@
+// Stage 3 of the pipeline: enumeration of the distinct shortest walks.
+//
+// Distinctness is the crux: one walk can carry many accepting runs (the
+// duplicate blow-up of the naive baseline, E7). The enumerator therefore
+// walks the prefix tree of *edge sequences*, not product paths. Each
+// stack frame holds the set R of useful states reachable by some run of
+// the current prefix; extending by a candidate edge e advances R through
+// e's trimmed moves in O(|A|). By the trimming invariant, R nonempty
+// means the prefix extends to at least one answer, so every interior
+// node of the explored tree leads to output and every answer is emitted
+// exactly once, in depth-first order over candidate-edge lists.
+//
+// All answers have length exactly lambda (shortest-walk semantics), so
+// output order is trivially non-decreasing in length. lambda == 0
+// (source == target, query accepts the empty word) yields the single
+// empty walk.
+
+#ifndef DSW_CORE_ENUMERATOR_H_
+#define DSW_CORE_ENUMERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/annotate.h"
+#include "core/database.h"
+#include "core/trimmed_index.h"
+#include "core/walk.h"
+#include "util/state_set.h"
+
+namespace dsw {
+
+class TrimmedEnumerator {
+ public:
+  /// The annotation and index must outlive the enumerator; \p source and
+  /// \p target must match the ones the annotation was built from.
+  TrimmedEnumerator(const Database& db, const Annotation& ann,
+                    const TrimmedIndex& index, uint32_t source,
+                    uint32_t target);
+
+  /// True while positioned on an answer.
+  bool Valid() const { return valid_; }
+
+  /// Advances to the next answer, or invalidates the enumerator.
+  void Next();
+
+  /// The current answer; only meaningful while Valid().
+  const Walk& walk() const { return walk_; }
+
+ private:
+  struct Frame {
+    uint32_t vertex = 0;
+    StateSet states;      // useful states reachable by the prefix
+    size_t edge_pos = 0;  // next candidate edge to try at this frame
+  };
+
+  void FindNext();
+
+  const Database* db_;
+  const TrimmedIndex* index_;
+  int32_t lambda_;
+  // All lambda + 1 frames are allocated up front and reused in place, so
+  // steady-state enumeration performs no heap allocation (the per-output
+  // delay must not depend on the allocator). stack_[i] describes the
+  // position after i edges; frames above depth_ are scratch.
+  std::vector<Frame> stack_;
+  uint32_t depth_ = 0;
+  Walk walk_;
+  bool valid_ = false;
+};
+
+}  // namespace dsw
+
+#endif  // DSW_CORE_ENUMERATOR_H_

@@ -1,0 +1,74 @@
+// Nondeterministic finite automaton over the database's label alphabet.
+// Queries (RPQs) reach the engine in this compiled form; the regex
+// front-end (Thompson/Glushkov) of Section 5 will target this same type.
+
+#ifndef DSW_CORE_NFA_H_
+#define DSW_CORE_NFA_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/state_set.h"
+
+namespace dsw {
+
+class Nfa {
+ public:
+  // (label, target) pairs; per-state fan-out is small, linear scans are
+  // faster than a map here.
+  using TransitionList = std::vector<std::pair<uint32_t, uint32_t>>;
+
+  explicit Nfa(uint32_t num_states = 0)
+      : trans_(num_states), initial_(num_states), final_(num_states) {}
+
+  uint32_t AddState() {
+    trans_.emplace_back();
+    initial_.Resize(num_states() + 1);
+    final_.Resize(num_states() + 1);
+    return static_cast<uint32_t>(trans_.size() - 1);
+  }
+
+  void AddInitial(uint32_t q) { initial_.Set(q); }
+  void AddFinal(uint32_t q) { final_.Set(q); }
+
+  void AddTransition(uint32_t from, uint32_t label, uint32_t to) {
+    trans_[from].emplace_back(label, to);
+    ++num_transitions_;
+  }
+
+  uint32_t num_states() const { return static_cast<uint32_t>(trans_.size()); }
+  size_t num_transitions() const { return num_transitions_; }
+
+  const StateSet& initial() const { return initial_; }
+  const StateSet& final_states() const { return final_; }
+  bool IsFinal(uint32_t q) const { return final_.Test(q); }
+
+  const TransitionList& Transitions(uint32_t q) const { return trans_[q]; }
+
+  /// Subset-construction membership test; used by tests and baselines,
+  /// not by the enumeration pipeline.
+  bool Accepts(const std::vector<uint32_t>& word) const {
+    StateSet cur = initial_;
+    for (uint32_t label : word) {
+      StateSet next(num_states());
+      cur.ForEach([&](uint32_t q) {
+        for (const auto& [l, to] : trans_[q])
+          if (l == label) next.Set(to);
+      });
+      cur = std::move(next);
+      if (cur.None()) return false;
+    }
+    return cur.Intersects(final_);
+  }
+
+ private:
+  std::vector<TransitionList> trans_;
+  StateSet initial_;
+  StateSet final_;
+  size_t num_transitions_ = 0;
+};
+
+}  // namespace dsw
+
+#endif  // DSW_CORE_NFA_H_

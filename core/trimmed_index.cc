@@ -1,0 +1,52 @@
+#include "core/trimmed_index.h"
+
+namespace dsw {
+
+TrimmedIndex::TrimmedIndex(const Database& db, const Annotation& ann) {
+  if (!ann.reachable()) return;
+  uint32_t lambda = static_cast<uint32_t>(ann.lambda);
+  useful_.resize(lambda + 1);
+  candidates_.resize(lambda);
+
+  // Level lambda: only (target, final) pairs are useful. Other vertices
+  // annotated at this level — even ones carrying final states — end no
+  // answer walk.
+  if (const StateSet* at_target = ann.StatesAt(lambda, ann.target)) {
+    StateSet fin = *at_target;
+    fin &= ann.final_states;
+    if (fin.Any()) useful_[lambda].emplace(ann.target, std::move(fin));
+  }
+
+  // Backward sweep: q is useful at (v, i) iff some edge e out of v and
+  // transition q -label(e)-> q' land on a useful q' at level i + 1. The
+  // same scan yields the candidate-edge lists with their moves.
+  for (uint32_t i = lambda; i-- > 0;) {
+    for (const auto& [v, states] : ann.levels[i]) {
+      StateSet useful_here(ann.num_states);
+      std::vector<CandidateEdge> cand;
+      for (uint32_t e : db.OutEdges(v)) {
+        const Edge& edge = db.edge(e);
+        const StateSet* next_useful = Useful(i + 1, edge.dst);
+        if (next_useful == nullptr) continue;
+        CandidateEdge ce{e, {}};
+        states.ForEach([&](uint32_t q) {
+          for (const auto& [label, to] : ann.transitions[q]) {
+            if (label != edge.label || !next_useful->Test(to)) continue;
+            ce.moves.emplace_back(q, to);
+            useful_here.Set(q);
+          }
+        });
+        if (!ce.moves.empty()) cand.push_back(std::move(ce));
+      }
+      if (useful_here.Any()) {
+        useful_[i].emplace(v, std::move(useful_here));
+        candidates_[i].emplace(v, std::move(cand));
+      }
+    }
+  }
+
+  for (const auto& level : useful_)
+    for (const auto& [v, states] : level) num_slots_ += states.Count();
+}
+
+}  // namespace dsw

@@ -1,0 +1,74 @@
+// Stage 2 of the pipeline: trimming. A product pair (v, q) at level i is
+// *useful* if it lies on some shortest accepting product path, i.e. its
+// BFS level is i and it reaches (target, f) with f final in exactly
+// lambda - i level-increasing product steps. The trimmed index keeps,
+// per level:
+//
+//  - useful(i, v): the useful states of v at level i, and
+//  - candidate edges: for each v at level i < lambda, the data edges e
+//    out of v that appear in at least one answer at position i, together
+//    with their "moves" — the trimmed product transitions (q, q')
+//    carried by e. Moves are what lets the enumerator advance a
+//    reachable-state set across an edge in O(|A|) without touching the
+//    Nfa (whose lifetime it does not control).
+//
+// Construction is one backward sweep over the annotation:
+// O(|D| x |A|). Total size is bounded by the number of trimmed product
+// transitions, again O(|D| x |A|).
+
+#ifndef DSW_CORE_TRIMMED_INDEX_H_
+#define DSW_CORE_TRIMMED_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/annotate.h"
+#include "core/database.h"
+#include "util/state_set.h"
+
+namespace dsw {
+
+class TrimmedIndex {
+ public:
+  struct CandidateEdge {
+    uint32_t edge;
+    /// Trimmed product transitions carried by this edge: q useful at the
+    /// source level, q' useful at the next level, q -label(edge)-> q'.
+    std::vector<std::pair<uint32_t, uint32_t>> moves;
+  };
+
+  TrimmedIndex(const Database& db, const Annotation& ann);
+
+  /// Number of useful (v, q, level) triples; 0 iff no answer exists.
+  size_t num_slots() const { return num_slots_; }
+  bool empty() const { return num_slots_ == 0; }
+
+  /// Useful states at (level, v), or nullptr if none.
+  const StateSet* Useful(uint32_t level, uint32_t v) const {
+    if (level >= useful_.size()) return nullptr;
+    auto it = useful_[level].find(v);
+    return it == useful_[level].end() ? nullptr : &it->second;
+  }
+
+  /// Candidate edges out of \p v at \p level (level < lambda). Empty for
+  /// vertices with no useful states.
+  const std::vector<CandidateEdge>& Candidates(uint32_t level,
+                                               uint32_t v) const {
+    static const std::vector<CandidateEdge> kNone;
+    if (level >= candidates_.size()) return kNone;
+    auto it = candidates_[level].find(v);
+    return it == candidates_[level].end() ? kNone : it->second;
+  }
+
+ private:
+  std::vector<std::unordered_map<uint32_t, StateSet>> useful_;
+  std::vector<std::unordered_map<uint32_t, std::vector<CandidateEdge>>>
+      candidates_;
+  size_t num_slots_ = 0;
+};
+
+}  // namespace dsw
+
+#endif  // DSW_CORE_TRIMMED_INDEX_H_

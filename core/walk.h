@@ -1,0 +1,40 @@
+// A walk is an ordered sequence of database edge ids. Answers to a
+// distinct-shortest-walk query are walks of length exactly lambda from
+// source to target whose label word belongs to the query language.
+
+#ifndef DSW_CORE_WALK_H_
+#define DSW_CORE_WALK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/database.h"
+
+namespace dsw {
+
+struct Walk {
+  std::vector<uint32_t> edges;
+
+  size_t length() const { return edges.size(); }
+
+  std::vector<uint32_t> LabelWord(const Database& db) const {
+    std::vector<uint32_t> word;
+    word.reserve(edges.size());
+    for (uint32_t e : edges) word.push_back(db.edge(e).label);
+    return word;
+  }
+
+  /// The vertex sequence source, v1, ..., v_len visited by the walk.
+  std::vector<uint32_t> VertexPath(const Database& db,
+                                   uint32_t source) const {
+    std::vector<uint32_t> path;
+    path.reserve(edges.size() + 1);
+    path.push_back(source);
+    for (uint32_t e : edges) path.push_back(db.edge(e).dst);
+    return path;
+  }
+};
+
+}  // namespace dsw
+
+#endif  // DSW_CORE_WALK_H_

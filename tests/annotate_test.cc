@@ -1,0 +1,158 @@
+// Unit tests for the annotation stage: lambda computation, unreachable
+// instances, self-loops, and parallel multi-label edges.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/annotate.h"
+#include "core/enumerator.h"
+#include "core/trimmed_index.h"
+#include "workload/queries.h"
+
+namespace dsw {
+namespace {
+
+size_t CountAnswers(const Database& db, const Nfa& query, uint32_t s,
+                    uint32_t t) {
+  Annotation ann = Annotate(db, query, s, t);
+  TrimmedIndex index(db, ann);
+  size_t n = 0;
+  for (TrimmedEnumerator en(db, ann, index, s, t); en.Valid(); en.Next())
+    ++n;
+  return n;
+}
+
+TEST(AnnotateTest, LambdaOnAChain) {
+  Database db;
+  uint32_t v0 = db.AddVertex(), v1 = db.AddVertex(), v2 = db.AddVertex();
+  db.AddEdge(v0, "a", v1);
+  db.AddEdge(v1, "a", v2);
+  Annotation ann = Annotate(db, StaircaseNfa(1, 1), v0, v2);
+  ASSERT_TRUE(ann.reachable());
+  EXPECT_EQ(ann.lambda, 2);
+}
+
+TEST(AnnotateTest, ShortestAcceptingBeatsShortestPlain) {
+  // The direct a-edge is shorter but the query demands a b somewhere.
+  Database db;
+  uint32_t s = db.AddVertex(), m = db.AddVertex(), t = db.AddVertex();
+  uint32_t a = db.labels().Intern("a"), b = db.labels().Intern("b");
+  db.AddEdge(s, a, t);  // length 1, word "a": rejected
+  db.AddEdge(s, b, m);
+  db.AddEdge(m, a, t);  // length 2, word "ba": accepted
+  Nfa contains_b(2);
+  contains_b.AddInitial(0);
+  contains_b.AddFinal(1);
+  contains_b.AddTransition(0, a, 0);
+  contains_b.AddTransition(0, b, 1);
+  contains_b.AddTransition(1, a, 1);
+  contains_b.AddTransition(1, b, 1);
+  Annotation ann = Annotate(db, contains_b, s, t);
+  ASSERT_TRUE(ann.reachable());
+  EXPECT_EQ(ann.lambda, 2);
+}
+
+TEST(AnnotateTest, UnreachableTargetYieldsEmptyEnumeration) {
+  Database db;
+  uint32_t s = db.AddVertex();
+  uint32_t t = db.AddVertex();  // no edges at all
+  Annotation ann = Annotate(db, StaircaseNfa(1, 1), s, t);
+  EXPECT_FALSE(ann.reachable());
+  EXPECT_EQ(ann.lambda, -1);
+
+  TrimmedIndex index(db, ann);
+  EXPECT_EQ(index.num_slots(), 0u);
+  EXPECT_TRUE(index.empty());
+
+  TrimmedEnumerator en(db, ann, index, s, t);
+  EXPECT_FALSE(en.Valid());
+}
+
+TEST(AnnotateTest, LabelMismatchIsUnreachableToo) {
+  // A path exists but its word is outside the query language.
+  Database db;
+  uint32_t s = db.AddVertex(), t = db.AddVertex();
+  db.labels().Intern("l0");
+  uint32_t l1 = db.labels().Intern("l1");
+  db.AddEdge(s, l1, t);
+  Annotation ann = Annotate(db, StaircaseNfa(1, 1), s, t);  // only l0
+  EXPECT_FALSE(ann.reachable());
+  TrimmedIndex index(db, ann);
+  TrimmedEnumerator en(db, ann, index, s, t);
+  EXPECT_FALSE(en.Valid());
+}
+
+TEST(AnnotateTest, SelfLoopOnShortestWalk) {
+  // s has an a-loop; the query wants exactly "aab", so the loop must be
+  // taken twice before the b-edge: one answer of length 3.
+  Database db;
+  uint32_t s = db.AddVertex(), t = db.AddVertex();
+  uint32_t a = db.labels().Intern("a"), b = db.labels().Intern("b");
+  uint32_t loop = db.AddEdge(s, a, s);
+  uint32_t cross = db.AddEdge(s, b, t);
+  Nfa aab(4);
+  aab.AddInitial(0);
+  aab.AddFinal(3);
+  aab.AddTransition(0, a, 1);
+  aab.AddTransition(1, a, 2);
+  aab.AddTransition(2, b, 3);
+  Annotation ann = Annotate(db, aab, s, t);
+  ASSERT_TRUE(ann.reachable());
+  EXPECT_EQ(ann.lambda, 3);
+
+  TrimmedIndex index(db, ann);
+  TrimmedEnumerator en(db, ann, index, s, t);
+  ASSERT_TRUE(en.Valid());
+  EXPECT_EQ(en.walk().edges, (std::vector<uint32_t>{loop, loop, cross}));
+  en.Next();
+  EXPECT_FALSE(en.Valid());
+}
+
+TEST(AnnotateTest, ParallelEdgesAreDistinctAnswers) {
+  Database db;
+  uint32_t s = db.AddVertex(), t = db.AddVertex();
+  uint32_t a = db.labels().Intern("a"), b = db.labels().Intern("b");
+  db.AddEdge(s, a, t);
+  db.AddEdge(s, b, t);
+  db.AddEdge(s, a, t);  // parallel duplicate of the first, same label
+  EXPECT_EQ(CountAnswers(db, StaircaseNfa(1, 2), s, t), 3u);
+}
+
+TEST(AnnotateTest, EmptyWalkWhenSourceIsTargetAndQueryAcceptsEpsilon) {
+  Database db;
+  uint32_t s = db.AddVertex();
+  db.labels().Intern("l0");
+  db.AddEdge(s, 0u, s);  // loop must not produce a second answer
+  Nfa query = StaircaseNfa(0, 1);  // accepts every word incl. epsilon
+  Annotation ann = Annotate(db, query, s, s);
+  ASSERT_TRUE(ann.reachable());
+  EXPECT_EQ(ann.lambda, 0);
+
+  TrimmedIndex index(db, ann);
+  TrimmedEnumerator en(db, ann, index, s, s);
+  ASSERT_TRUE(en.Valid());
+  EXPECT_TRUE(en.walk().edges.empty());
+  en.Next();
+  EXPECT_FALSE(en.Valid());
+}
+
+TEST(AnnotateTest, AnnotationSnapshotsTheQuery) {
+  Database db;
+  uint32_t s = db.AddVertex(), t = db.AddVertex();
+  db.labels().Intern("l0");
+  db.AddEdge(s, 0u, t);
+  Annotation ann;
+  {
+    Nfa query = StaircaseNfa(1, 1);  // destroyed before use below
+    ann = Annotate(db, query, s, t);
+  }
+  TrimmedIndex index(db, ann);
+  TrimmedEnumerator en(db, ann, index, s, t);
+  ASSERT_TRUE(en.Valid());
+  en.Next();
+  EXPECT_FALSE(en.Valid());
+}
+
+}  // namespace
+}  // namespace dsw

@@ -1,0 +1,106 @@
+// Dynamic bitset over automaton states. Product-BFS annotation, trimming
+// and enumeration all manipulate sets of NFA states; |Q| is small (tens
+// to a few hundred) so a flat word array beats std::set/unordered_set by
+// a wide margin and gives O(|Q|/64) unions and intersections.
+
+#ifndef DSW_UTIL_STATE_SET_H_
+#define DSW_UTIL_STATE_SET_H_
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+namespace dsw {
+
+class StateSet {
+ public:
+  StateSet() = default;
+  explicit StateSet(uint32_t num_bits)
+      : num_bits_(num_bits), words_((num_bits + 63) / 64, 0) {}
+
+  uint32_t capacity() const { return num_bits_; }
+
+  void Resize(uint32_t num_bits) {
+    words_.resize((num_bits + 63) / 64, 0);
+    if (num_bits < num_bits_) {  // clear stale bits above the new size
+      uint32_t tail = num_bits & 63;
+      if (!words_.empty() && tail != 0)
+        words_.back() &= (uint64_t{1} << tail) - 1;
+    }
+    num_bits_ = num_bits;
+  }
+
+  void Set(uint32_t i) { words_[i >> 6] |= uint64_t{1} << (i & 63); }
+  void Clear(uint32_t i) { words_[i >> 6] &= ~(uint64_t{1} << (i & 63)); }
+  bool Test(uint32_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  bool Any() const {
+    for (uint64_t w : words_)
+      if (w) return true;
+    return false;
+  }
+  bool None() const { return !Any(); }
+
+  uint32_t Count() const {
+    uint32_t n = 0;
+    for (uint64_t w : words_) n += static_cast<uint32_t>(std::popcount(w));
+    return n;
+  }
+
+  void ZeroAll() {
+    for (uint64_t& w : words_) w = 0;
+  }
+
+  StateSet& operator|=(const StateSet& o) {
+    if (o.num_bits_ > num_bits_) Resize(o.num_bits_);
+    for (size_t i = 0; i < o.words_.size(); ++i) words_[i] |= o.words_[i];
+    return *this;
+  }
+
+  StateSet& operator&=(const StateSet& o) {
+    for (size_t i = 0; i < words_.size(); ++i)
+      words_[i] &= i < o.words_.size() ? o.words_[i] : 0;
+    return *this;
+  }
+
+  bool Intersects(const StateSet& o) const {
+    size_t n = words_.size() < o.words_.size() ? words_.size() : o.words_.size();
+    for (size_t i = 0; i < n; ++i)
+      if (words_[i] & o.words_[i]) return true;
+    return false;
+  }
+
+  /// Calls \p fn(state) for every set bit, in increasing order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (size_t wi = 0; wi < words_.size(); ++wi) {
+      uint64_t w = words_[wi];
+      while (w) {
+        uint32_t bit = static_cast<uint32_t>(std::countr_zero(w));
+        fn(static_cast<uint32_t>(wi * 64 + bit));
+        w &= w - 1;
+      }
+    }
+  }
+
+  friend bool operator==(const StateSet& a, const StateSet& b) {
+    size_t n = a.words_.size() > b.words_.size() ? a.words_.size()
+                                                 : b.words_.size();
+    for (size_t i = 0; i < n; ++i) {
+      uint64_t wa = i < a.words_.size() ? a.words_[i] : 0;
+      uint64_t wb = i < b.words_.size() ? b.words_[i] : 0;
+      if (wa != wb) return false;
+    }
+    return true;
+  }
+
+ private:
+  uint32_t num_bits_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace dsw
+
+#endif  // DSW_UTIL_STATE_SET_H_

@@ -1,0 +1,32 @@
+// Minimal steady-clock stopwatch used for delay measurements (the gap
+// between consecutive enumerator outputs, the quantity bounded by
+// Theorem 2 of the paper).
+
+#ifndef DSW_UTIL_STOPWATCH_H_
+#define DSW_UTIL_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace dsw {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  int64_t ElapsedNs() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace dsw
+
+#endif  // DSW_UTIL_STOPWATCH_H_

@@ -1,0 +1,81 @@
+// The paper's worked example: a five-vertex database and a two-state
+// nondeterministic query with exactly four distinct shortest answers,
+// small enough to trace the whole pipeline by hand.
+//
+// Vertices: alix, mid1, mid2, carl, bob. Labels: a, b.
+//
+//        a,b         a,b
+//   alix ====> mid1 ====> bob          (parallel a- and b-edges)
+//   alix --a-> mid2 --b-> bob
+//   alix --b-> carl --b-> mid2         (dead end: too long, trimmed)
+//
+// Query: (a|b)* b (a|b)* — "the word contains at least one b". The NFA
+// has states q0 (initial, loops on a and b, steps to q1 on b) and q1
+// (final, loops on a and b); a word with k b's has k accepting runs.
+//
+// lambda = 2 and the four answers are
+//   alix --a-> mid1 --b-> bob
+//   alix --b-> mid1 --a-> bob
+//   alix --b-> mid1 --b-> bob          (word "bb": two runs, one walk)
+//   alix --a-> mid2 --b-> bob
+// The walk through carl reaches mid2 only at level 2 > lambda - 1, so
+// trimming removes carl — the pruning the TrimmedIndex exists for. The
+// "bb" answer is the distinctness trap: product-path enumeration emits
+// it once per run.
+
+#ifndef DSW_WORKLOAD_FIGURE1_H_
+#define DSW_WORKLOAD_FIGURE1_H_
+
+#include <cstdint>
+
+#include "core/database.h"
+#include "core/nfa.h"
+
+namespace dsw {
+
+struct Figure1 {
+  Database db;
+  Nfa query;
+  uint32_t alix = 0;
+  uint32_t mid1 = 0;
+  uint32_t mid2 = 0;
+  uint32_t carl = 0;
+  uint32_t bob = 0;
+  static constexpr uint32_t kNumAnswers = 4;
+  static constexpr uint32_t kLambda = 2;
+};
+
+inline Figure1 MakeFigure1() {
+  Figure1 fig;
+  fig.alix = fig.db.AddVertex();
+  fig.mid1 = fig.db.AddVertex();
+  fig.mid2 = fig.db.AddVertex();
+  fig.carl = fig.db.AddVertex();
+  fig.bob = fig.db.AddVertex();
+
+  fig.db.AddEdge(fig.alix, "a", fig.mid1);
+  fig.db.AddEdge(fig.alix, "b", fig.mid1);
+  fig.db.AddEdge(fig.mid1, "a", fig.bob);
+  fig.db.AddEdge(fig.mid1, "b", fig.bob);
+  fig.db.AddEdge(fig.alix, "a", fig.mid2);
+  fig.db.AddEdge(fig.mid2, "b", fig.bob);
+  fig.db.AddEdge(fig.alix, "b", fig.carl);
+  fig.db.AddEdge(fig.carl, "b", fig.mid2);
+
+  uint32_t a = fig.db.labels().Find("a");
+  uint32_t b = fig.db.labels().Find("b");
+  Nfa nfa(2);
+  nfa.AddInitial(0);
+  nfa.AddFinal(1);
+  nfa.AddTransition(0, a, 0);
+  nfa.AddTransition(0, b, 0);
+  nfa.AddTransition(0, b, 1);
+  nfa.AddTransition(1, a, 1);
+  nfa.AddTransition(1, b, 1);
+  fig.query = std::move(nfa);
+  return fig;
+}
+
+}  // namespace dsw
+
+#endif  // DSW_WORKLOAD_FIGURE1_H_

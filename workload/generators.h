@@ -1,0 +1,183 @@
+// Synthetic database families behind the experiments E1-E7. Each
+// generator returns an Instance{db, source, target}; all randomness is
+// mt19937_64-seeded and fully reproducible.
+
+#ifndef DSW_WORKLOAD_GENERATORS_H_
+#define DSW_WORKLOAD_GENERATORS_H_
+
+#include <cstdint>
+#include <random>
+#include <string>
+
+#include "core/database.h"
+
+namespace dsw {
+
+struct Instance {
+  Database db;
+  uint32_t source = 0;
+  uint32_t target = 0;
+};
+
+namespace workload_detail {
+
+inline void InternLabels(Database* db, uint32_t num_labels) {
+  for (uint32_t l = 0; l < num_labels; ++l) {
+    std::string name("l");
+    name += std::to_string(l);
+    db->labels().Intern(name);
+  }
+}
+
+}  // namespace workload_detail
+
+/// rows x cols grid, single label, edges rightward and downward; source
+/// top-left, target bottom-right. With a length-accepting query, lambda
+/// = rows + cols - 2 and the answers are the C(rows+cols-2, rows-1)
+/// monotone lattice paths (E6).
+inline Instance Grid(uint32_t rows, uint32_t cols) {
+  Instance inst;
+  workload_detail::InternLabels(&inst.db, 1);
+  inst.db.AddVertices(rows * cols);
+  auto id = [cols](uint32_t r, uint32_t c) { return r * cols + c; };
+  for (uint32_t r = 0; r < rows; ++r)
+    for (uint32_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) inst.db.AddEdge(id(r, c), 0u, id(r, c + 1));
+      if (r + 1 < rows) inst.db.AddEdge(id(r, c), 0u, id(r + 1, c));
+    }
+  inst.source = id(0, 0);
+  inst.target = id(rows - 1, cols - 1);
+  return inst;
+}
+
+/// Chain of k two-path "bubbles": hub_i splits into a top and a bottom
+/// branch that rejoin at hub_{i+1}. 2^k answers, lambda = 2k. With
+/// num_labels >= 2 the top branch is labeled l0 and the bottom l1, so
+/// answer words range over all k-bit choices (E3/E7).
+inline Instance BubbleChain(uint32_t k, uint32_t num_labels) {
+  Instance inst;
+  workload_detail::InternLabels(&inst.db, num_labels);
+  uint32_t top_label = 0;
+  uint32_t bot_label = num_labels > 1 ? 1 : 0;
+  uint32_t hub = inst.db.AddVertex();
+  inst.source = hub;
+  for (uint32_t i = 0; i < k; ++i) {
+    uint32_t top = inst.db.AddVertex();
+    uint32_t bot = inst.db.AddVertex();
+    uint32_t next = inst.db.AddVertex();
+    inst.db.AddEdge(hub, top_label, top);
+    inst.db.AddEdge(top, top_label, next);
+    inst.db.AddEdge(hub, bot_label, bot);
+    inst.db.AddEdge(bot, bot_label, next);
+    hub = next;
+  }
+  inst.target = hub;
+  return inst;
+}
+
+/// d disjoint chains of length `depth` from source to target: d answers,
+/// lambda = depth, and the target's in-degree is exactly d — the reseek
+/// stressor of E8. Labels cycle over the alphabet along each chain.
+inline Instance StarOfChains(uint32_t d, uint32_t depth,
+                             uint32_t num_labels) {
+  Instance inst;
+  workload_detail::InternLabels(&inst.db, num_labels);
+  inst.source = inst.db.AddVertex();
+  inst.target = inst.db.AddVertex();
+  for (uint32_t j = 0; j < d; ++j) {
+    uint32_t prev = inst.source;
+    for (uint32_t p = 1; p < depth; ++p) {
+      uint32_t v = inst.db.AddVertex();
+      inst.db.AddEdge(prev, (j + p - 1) % num_labels, v);
+      prev = v;
+    }
+    inst.db.AddEdge(prev, (j + depth - 1) % num_labels, inst.target);
+  }
+  return inst;
+}
+
+struct LayeredGraphParams {
+  uint32_t layers = 8;
+  uint32_t width = 16;
+  uint32_t edges_per_vertex = 4;
+  uint32_t num_labels = 2;      // labels the staircase queries accept
+  uint32_t extra_labels = 0;    // selective labels outside the query
+  double multi_label_p = 0.0;   // P(edge gets a parallel extra-label twin)
+  uint64_t seed = 1;
+};
+
+/// source -> layer_0 -> ... -> layer_{layers-1} -> target with random
+/// inter-layer edges. Every vertex keeps at least one forward edge and
+/// the extra-label twins never remove base-label connectivity, so an
+/// accepting walk always exists and lambda = layers + 1. |E| scales with
+/// width x edges_per_vertex (the E1 sweep).
+inline Instance LayeredGraph(const LayeredGraphParams& params) {
+  Instance inst;
+  uint32_t total_labels = params.num_labels + params.extra_labels;
+  workload_detail::InternLabels(&inst.db, total_labels);
+  std::mt19937_64 rng(params.seed);
+  auto base_label = [&] {
+    return static_cast<uint32_t>(rng() % params.num_labels);
+  };
+
+  inst.source = inst.db.AddVertex();
+  uint32_t first_layer = inst.db.AddVertices(params.layers * params.width);
+  inst.target = inst.db.AddVertex();
+  auto vertex = [&](uint32_t layer, uint32_t i) {
+    return first_layer + layer * params.width + i;
+  };
+
+  auto add_edge = [&](uint32_t src, uint32_t dst) {
+    inst.db.AddEdge(src, base_label(), dst);
+    if (params.extra_labels > 0 &&
+        std::uniform_real_distribution<double>(0.0, 1.0)(rng) <
+            params.multi_label_p) {
+      uint32_t extra = params.num_labels +
+                       static_cast<uint32_t>(rng() % params.extra_labels);
+      inst.db.AddEdge(src, extra, dst);
+    }
+  };
+
+  for (uint32_t i = 0; i < params.width; ++i)
+    add_edge(inst.source, vertex(0, i));
+  for (uint32_t layer = 0; layer + 1 < params.layers; ++layer)
+    for (uint32_t i = 0; i < params.width; ++i) {
+      add_edge(vertex(layer, i), vertex(layer + 1, i));  // connectivity
+      for (uint32_t e = 1; e < params.edges_per_vertex; ++e)
+        add_edge(vertex(layer, i),
+                 vertex(layer + 1, static_cast<uint32_t>(rng() %
+                                                         params.width)));
+    }
+  for (uint32_t i = 0; i < params.width; ++i)
+    add_edge(vertex(params.layers - 1, i), inst.target);
+  return inst;
+}
+
+/// Copies \p core and grafts a noise subgraph onto its source: the noise
+/// is reachable (so annotation must wade through it) but never reaches
+/// the target (so the answer set, lambda, and the trimmed structure are
+/// unchanged) — exactly the |D|-independence setup of E3.
+inline Instance EmbedInNoise(const Instance& core, uint32_t noise_vertices,
+                             uint32_t noise_edges, uint64_t seed) {
+  Instance inst = core;
+  if (noise_vertices == 0) return inst;
+  std::mt19937_64 rng(seed);
+  uint32_t first = inst.db.AddVertices(noise_vertices);
+  auto noise_vertex = [&] {
+    return first + static_cast<uint32_t>(rng() % noise_vertices);
+  };
+  uint32_t num_labels = inst.db.labels().size();
+  uint32_t entry_edges = noise_vertices < 8 ? noise_vertices : 8;
+  for (uint32_t i = 0; i < entry_edges; ++i)
+    inst.db.AddEdge(inst.source, static_cast<uint32_t>(rng() % num_labels),
+                    noise_vertex());
+  for (uint32_t i = entry_edges; i < noise_edges; ++i)
+    inst.db.AddEdge(noise_vertex(),
+                    static_cast<uint32_t>(rng() % num_labels),
+                    noise_vertex());
+  return inst;
+}
+
+}  // namespace dsw
+
+#endif  // DSW_WORKLOAD_GENERATORS_H_

@@ -1,0 +1,60 @@
+// Query automata used by the experiments. Label ids are 0..L-1 and match
+// the interning order of the generators ("l0", "l1", ...).
+
+#ifndef DSW_WORKLOAD_QUERIES_H_
+#define DSW_WORKLOAD_QUERIES_H_
+
+#include <cstdint>
+
+#include "core/nfa.h"
+
+namespace dsw {
+
+/// "Staircase" NFA with width + 1 states: every state loops on all L
+/// labels and nondeterministically advances to the next on all L labels;
+/// the last state is final. Accepts every word of length >= width and
+/// gives a word of length n about C(n, width) accepting runs — the
+/// duplicate factory of E7. |Delta| = L * (2 * width + 1), so sweeping
+/// width at L = 2 grows |Delta| as ~4 * width (E2).
+inline Nfa StaircaseNfa(uint32_t width, uint32_t num_labels) {
+  Nfa nfa(width + 1);
+  nfa.AddInitial(0);
+  nfa.AddFinal(width);
+  for (uint32_t q = 0; q <= width; ++q)
+    for (uint32_t l = 0; l < num_labels; ++l) {
+      nfa.AddTransition(q, l, q);
+      if (q < width) nfa.AddTransition(q, l, q + 1);
+    }
+  return nfa;
+}
+
+/// DFA accepting exactly the words of length k (over L labels): a simple
+/// chain, deterministic, one run per word. The [11, 17] "simple setting"
+/// query for the fast-path experiments.
+inline Nfa AnyKDfa(uint32_t k, uint32_t num_labels) {
+  Nfa dfa(k + 1);
+  dfa.AddInitial(0);
+  dfa.AddFinal(k);
+  for (uint32_t q = 0; q < k; ++q)
+    for (uint32_t l = 0; l < num_labels; ++l) dfa.AddTransition(q, l, q + 1);
+  return dfa;
+}
+
+/// Complete NFA: every state reaches every state on every label
+/// (|Delta| = n^2 * L). State 0 is initial, state n - 1 final; accepts
+/// every nonempty word when n >= 2. Maximizes per-step state sets and
+/// run counts — the |A| stressor of E2b/E5.
+inline Nfa CompleteNfa(uint32_t num_states, uint32_t num_labels) {
+  Nfa nfa(num_states);
+  nfa.AddInitial(0);
+  nfa.AddFinal(num_states - 1);
+  for (uint32_t from = 0; from < num_states; ++from)
+    for (uint32_t to = 0; to < num_states; ++to)
+      for (uint32_t l = 0; l < num_labels; ++l)
+        nfa.AddTransition(from, l, to);
+  return nfa;
+}
+
+}  // namespace dsw
+
+#endif  // DSW_WORKLOAD_QUERIES_H_
