@@ -14,6 +14,8 @@
 #include <set>
 #include <vector>
 
+#include "util/state_set.h"
+
 #include "core/annotate.h"
 #include "core/database.h"
 #include "core/nfa.h"
@@ -48,7 +50,7 @@ struct Search {
         return;
       }
       ++res->paths_generated;
-      if (v != target || !ann->final_states.Test(q)) return;
+      if (v != target || !ann->AcceptsAt(q)) return;
       if (seen->insert(*prefix).second)
         res->walks.push_back(Walk{*prefix});
       else
@@ -59,11 +61,28 @@ struct Search {
       const Edge& edge = db->edge(e);
       const StateSet* next = ann->StatesAt(depth + 1, edge.dst);
       if (next == nullptr) continue;
-      for (const auto& [label, to] : ann->transitions[q]) {
-        if (label != edge.label || !next->Test(to)) continue;
-        prefix->push_back(e);
-        Run(edge.dst, to, depth + 1);
-        prefix->pop_back();
+      if (!ann->has_epsilon()) {
+        for (const auto& [label, to] : ann->transitions[q]) {
+          if (label != edge.label || !next->Test(to)) continue;
+          prefix->push_back(e);
+          Run(edge.dst, to, depth + 1);
+          prefix->pop_back();
+          if (res->budget_exhausted) return;
+        }
+      } else {
+        // Epsilon-NFAs: branch on closure-collapsed effective steps
+        // (eps* label eps*); distinct epsilon-paths between the same
+        // labeled steps count as one run.
+        StateSet targets(ann->num_states);
+        ann->ForEachEffectiveStep(q, edge.label, [&](uint32_t to) {
+          if (next->Test(to)) targets.Set(to);
+        });
+        targets.ForEach([&](uint32_t to) {
+          if (res->budget_exhausted) return;
+          prefix->push_back(e);
+          Run(edge.dst, to, depth + 1);
+          prefix->pop_back();
+        });
         if (res->budget_exhausted) return;
       }
     }

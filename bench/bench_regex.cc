@@ -20,19 +20,10 @@
 #include "core/trimmed_index.h"
 #include "regex/regex_parser.h"
 #include "workload/generators.h"
+#include "workload/queries.h"
 
 namespace dsw {
 namespace {
-
-std::string ContainsL0Regex(uint32_t m) {
-  std::string any = "(";
-  for (uint32_t i = 0; i < m; ++i) {
-    if (i > 0) any += "|";
-    any += "l" + std::to_string(i);
-  }
-  any += ")*";
-  return any + " l0 " + any;
-}
 
 Instance RegexInstance(uint32_t m) {
   // Layered topology guarantees source-target reachability (lambda = 7)
@@ -88,7 +79,11 @@ void RunTranslationOnly(benchmark::State& state) {
   auto ast = ParseRegex(ContainsL0Regex(m));
   assert(ast.ok());
   LabelDictionary dict;
-  for (uint32_t i = 0; i < m; ++i) dict.Intern("l" + std::to_string(i));
+  for (uint32_t i = 0; i < m; ++i) {
+    std::string name("l");
+    name += std::to_string(i);
+    dict.Intern(name);
+  }
   for (auto _ : state) {
     Nfa nfa = kThompson ? ThompsonNfa(*ast.value(), &dict)
                         : GlushkovNfa(*ast.value(), &dict);

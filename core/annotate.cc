@@ -14,6 +14,7 @@ Annotation Annotate(const Database& db, const Nfa& query, uint32_t source,
   for (uint32_t q = 0; q < query.num_states(); ++q)
     ann.transitions.push_back(query.Transitions(q));
   ann.final_states = query.final_states();
+  if (query.has_epsilon()) ann.eps_closure = query.EpsilonClosures();
 
   if (source >= db.num_vertices() || target >= db.num_vertices() ||
       query.num_states() == 0 || query.initial().None())
@@ -30,9 +31,28 @@ Annotation Annotate(const Database& db, const Nfa& query, uint32_t source,
     return true;
   };
 
+  // Saturates a per-vertex state set with epsilon-closures, marking the
+  // newly reached pairs at the current level. eps_closure entries are
+  // transitively closed, so one pass over the pre-closure members
+  // suffices. (v, q) pairs reached only by epsilon still get marked
+  // exactly once, so the BFS stays O(|D| x |A|) — the Section 5.1
+  // "epsilon for free" argument. closed is hoisted scratch: saturate
+  // runs once per annotated vertex per level, inside the preprocessing
+  // loop E1/E2 measure.
+  StateSet closed(query.num_states());
+  auto saturate = [&](uint32_t v, StateSet* states) {
+    if (ann.eps_closure.empty()) return;
+    closed.ZeroAll();
+    states->ForEach([&](uint32_t q) { closed |= ann.eps_closure[q]; });
+    closed.ForEach([&](uint32_t r) {
+      if (mark(v, r)) states->Set(r);
+    });
+  };
+
   std::unordered_map<uint32_t, StateSet> frontier;
   StateSet init = query.initial();
   init.ForEach([&](uint32_t q) { mark(source, q); });
+  saturate(source, &init);
   frontier.emplace(source, std::move(init));
 
   auto accepts_here = [&](const std::unordered_map<uint32_t, StateSet>& lvl) {
@@ -68,6 +88,7 @@ Annotation Annotate(const Database& db, const Nfa& query, uint32_t source,
         });
       }
     }
+    for (auto& [v, states] : next) saturate(v, &states);
     frontier = std::move(next);
   }
 

@@ -14,10 +14,21 @@
 // Cost: O(|D| x |A|) — each product edge (e, t) with e in E and t in
 // Delta is relaxed at most once.
 //
-// The annotation also snapshots the query's transition table and final
-// states so the later stages (TrimmedIndex, enumerators, whose
-// bench-fixed constructors do not receive the Nfa) need no reference
-// back to it.
+// Epsilon-NFAs (Section 5.1, the Thompson front-end) are handled "for
+// free": every per-vertex state set the BFS produces is saturated with
+// epsilon-closures before it becomes a level, and each (v, q) pair is
+// still marked at most once, so the extra cost is bounded by the number
+// of epsilon-transitions. Downstream, levels being closure-saturated
+// means a labeled transition out of *any* member covers the "epsilon
+// before the edge" half of an effective step; the "epsilon after" half
+// is composed into the trimmed moves by TrimmedIndex using the
+// eps_closure snapshot below, so TrimmedEnumerator's state-set
+// propagation needs no change at all.
+//
+// The annotation also snapshots the query's transition table, final
+// states, and per-state epsilon-closures so the later stages
+// (TrimmedIndex, enumerators, whose bench-fixed constructors do not
+// receive the Nfa) need no reference back to it.
 
 #ifndef DSW_CORE_ANNOTATE_H_
 #define DSW_CORE_ANNOTATE_H_
@@ -48,7 +59,41 @@ struct Annotation {
   std::vector<Nfa::TransitionList> transitions;
   StateSet final_states;
 
+  /// Per-state epsilon-closures (each contains the state itself); empty
+  /// when the query is epsilon-free, in which case closure(q) = {q}.
+  std::vector<StateSet> eps_closure;
+
   bool reachable() const { return lambda >= 0; }
+  bool has_epsilon() const { return !eps_closure.empty(); }
+
+  /// True iff q alone accepts, i.e. reaches a final state by epsilon
+  /// moves only (q itself included).
+  bool AcceptsAt(uint32_t q) const {
+    return has_epsilon() ? eps_closure[q].Intersects(final_states)
+                         : final_states.Test(q);
+  }
+
+  /// Calls \p fn for every state reachable from \p q by one *effective*
+  /// labeled step eps* . label . eps*. May repeat a state when distinct
+  /// epsilon-paths converge; callers needing distinctness dedup with a
+  /// scratch StateSet. Used by the naive baseline; the trimmed pipeline
+  /// composes closures once, at TrimmedIndex build time.
+  template <typename Fn>
+  void ForEachEffectiveStep(uint32_t q, uint32_t label, Fn&& fn) const {
+    auto scan = [&](uint32_t q1) {
+      for (const auto& [l, to] : transitions[q1]) {
+        if (l != label) continue;
+        if (has_epsilon())
+          eps_closure[to].ForEach(fn);
+        else
+          fn(to);
+      }
+    };
+    if (has_epsilon())
+      eps_closure[q].ForEach(scan);
+    else
+      scan(q);
+  }
 
   /// States annotated at (level, v), or nullptr if none.
   const StateSet* StatesAt(uint32_t level, uint32_t v) const {

@@ -90,6 +90,12 @@ class Database {
   LabelDictionary& labels() { return labels_; }
   const LabelDictionary& labels() const { return labels_; }
 
+  /// Stable pointer to the dictionary for callers that intern labels
+  /// while compiling queries against a live database (the regex front
+  /// end). The pointer stays valid for the lifetime of this Database, and
+  /// Intern is idempotent, so re-compiling a query never perturbs ids.
+  LabelDictionary* mutable_dict() { return &labels_; }
+
  private:
   std::vector<Edge> edges_;
   std::vector<std::vector<uint32_t>> out_;  // vertex -> edge ids

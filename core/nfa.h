@@ -1,6 +1,11 @@
-// Nondeterministic finite automaton over the database's label alphabet.
-// Queries (RPQs) reach the engine in this compiled form; the regex
-// front-end (Thompson/Glushkov) of Section 5 will target this same type.
+// Nondeterministic finite automaton over the database's label alphabet,
+// with optional epsilon-transitions. Queries (RPQs) reach the engine in
+// this compiled form; the regex front-end produces either an epsilon-NFA
+// (Thompson, automaton/thompson.h) or an epsilon-free NFA (Glushkov,
+// automaton/glushkov.h) targeting this same type. Section 5.1 of the
+// paper shows epsilon handling is free for the pipeline: Annotate
+// saturates state sets with epsilon-closures, so downstream stages never
+// see epsilon at all.
 
 #ifndef DSW_CORE_NFA_H_
 #define DSW_CORE_NFA_H_
@@ -20,10 +25,14 @@ class Nfa {
   using TransitionList = std::vector<std::pair<uint32_t, uint32_t>>;
 
   explicit Nfa(uint32_t num_states = 0)
-      : trans_(num_states), initial_(num_states), final_(num_states) {}
+      : trans_(num_states),
+        eps_(num_states),
+        initial_(num_states),
+        final_(num_states) {}
 
   uint32_t AddState() {
     trans_.emplace_back();
+    eps_.emplace_back();
     initial_.Resize(num_states() + 1);
     final_.Resize(num_states() + 1);
     return static_cast<uint32_t>(trans_.size() - 1);
@@ -37,25 +46,68 @@ class Nfa {
     ++num_transitions_;
   }
 
+  void AddEpsilonTransition(uint32_t from, uint32_t to) {
+    eps_[from].push_back(to);
+    ++num_epsilon_transitions_;
+  }
+
   uint32_t num_states() const { return static_cast<uint32_t>(trans_.size()); }
   size_t num_transitions() const { return num_transitions_; }
+  size_t num_epsilon_transitions() const { return num_epsilon_transitions_; }
+  bool has_epsilon() const { return num_epsilon_transitions_ > 0; }
 
   const StateSet& initial() const { return initial_; }
   const StateSet& final_states() const { return final_; }
   bool IsFinal(uint32_t q) const { return final_.Test(q); }
 
   const TransitionList& Transitions(uint32_t q) const { return trans_[q]; }
+  const std::vector<uint32_t>& EpsilonSuccessors(uint32_t q) const {
+    return eps_[q];
+  }
+
+  /// Per-state epsilon-closures (each includes the state itself). Safe on
+  /// epsilon-cycles; O(|Q| x (|Q| + |eps|)) — |Q| is small.
+  std::vector<StateSet> EpsilonClosures() const {
+    std::vector<StateSet> closure(num_states());
+    std::vector<uint32_t> stack;
+    for (uint32_t q = 0; q < num_states(); ++q) {
+      closure[q].Resize(num_states());
+      closure[q].Set(q);
+      stack.assign(1, q);
+      while (!stack.empty()) {
+        uint32_t u = stack.back();
+        stack.pop_back();
+        for (uint32_t r : eps_[u]) {
+          if (closure[q].Test(r)) continue;
+          closure[q].Set(r);
+          stack.push_back(r);
+        }
+      }
+    }
+    return closure;
+  }
 
   /// Subset-construction membership test; used by tests and baselines,
   /// not by the enumeration pipeline.
   bool Accepts(const std::vector<uint32_t>& word) const {
+    if (num_states() == 0) return false;
+    std::vector<StateSet> closures;
+    if (has_epsilon()) closures = EpsilonClosures();
+    auto close = [&](StateSet* s) {
+      if (closures.empty()) return;
+      StateSet closed(num_states());
+      s->ForEach([&](uint32_t q) { closed |= closures[q]; });
+      *s = std::move(closed);
+    };
     StateSet cur = initial_;
+    close(&cur);
     for (uint32_t label : word) {
       StateSet next(num_states());
       cur.ForEach([&](uint32_t q) {
         for (const auto& [l, to] : trans_[q])
           if (l == label) next.Set(to);
       });
+      close(&next);
       cur = std::move(next);
       if (cur.None()) return false;
     }
@@ -64,9 +116,11 @@ class Nfa {
 
  private:
   std::vector<TransitionList> trans_;
+  std::vector<std::vector<uint32_t>> eps_;  // state -> epsilon successors
   StateSet initial_;
   StateSet final_;
   size_t num_transitions_ = 0;
+  size_t num_epsilon_transitions_ = 0;
 };
 
 }  // namespace dsw

@@ -17,9 +17,17 @@ TrimmedIndex::TrimmedIndex(const Database& db, const Annotation& ann) {
     if (fin.Any()) useful_[lambda].emplace(ann.target, std::move(fin));
   }
 
-  // Backward sweep: q is useful at (v, i) iff some edge e out of v and
-  // transition q -label(e)-> q' land on a useful q' at level i + 1. The
-  // same scan yields the candidate-edge lists with their moves.
+  // Backward sweep: q is useful at (v, i) iff some step
+  // label(e) . eps* out of q along an edge e from v lands on a useful q'
+  // at level i + 1. The "eps* before the edge" half of an effective step
+  // needs no handling here: annotation levels are closure-saturated and
+  // every epsilon-mate a shortest run can occupy sits on the same level
+  // (a smaller BFS distance would splice into a shorter answer), so the
+  // mate is scanned in its own right — composing the before-side closure
+  // would only duplicate moves. The after-side closure *is* composed
+  // into the move targets, which is what lets the enumerator advance
+  // reachable-state sets across epsilon-NFAs unchanged.
+  StateSet targets(ann.num_states);  // scratch: dedups move targets per q
   for (uint32_t i = lambda; i-- > 0;) {
     for (const auto& [v, states] : ann.levels[i]) {
       StateSet useful_here(ann.num_states);
@@ -30,11 +38,21 @@ TrimmedIndex::TrimmedIndex(const Database& db, const Annotation& ann) {
         if (next_useful == nullptr) continue;
         CandidateEdge ce{e, {}};
         states.ForEach([&](uint32_t q) {
+          targets.ZeroAll();
           for (const auto& [label, to] : ann.transitions[q]) {
-            if (label != edge.label || !next_useful->Test(to)) continue;
+            if (label != edge.label) continue;
+            if (!ann.has_epsilon()) {
+              if (next_useful->Test(to)) targets.Set(to);
+            } else {
+              ann.eps_closure[to].ForEach([&](uint32_t t) {
+                if (next_useful->Test(t)) targets.Set(t);
+              });
+            }
+          }
+          targets.ForEach([&](uint32_t to) {
             ce.moves.emplace_back(q, to);
             useful_here.Set(q);
-          }
+          });
         });
         if (!ce.moves.empty()) cand.push_back(std::move(ce));
       }

@@ -1,0 +1,264 @@
+// Regular-expression front-end for RPQ strings. Atoms are label *names*
+// (maximal runs of [A-Za-z0-9_], so "l10" is one atom and "l1 l0" is a
+// concatenation — graph labels are words, not characters); operators are
+// grouping "()", alternation "|", and the postfix repetitions "*", "+",
+// "?". Whitespace separates atoms and is otherwise ignored.
+//
+// Precedence, loosest to tightest: alternation, concatenation,
+// repetition. "a b|c*" parses as (a.b) | (c*).
+//
+// ParseRegex returns a status-or result: ok() + value() on success (a
+// heap-allocated AST the caller owns through the result object), or
+// !ok() + error() with a position-annotated message. The AST is the
+// input to the Thompson (automaton/thompson.h) and Glushkov
+// (automaton/glushkov.h) translations; |R| in the paper's Theorem 19 /
+// Corollary 20 bounds is RegexNode::NumAtoms().
+
+#ifndef DSW_REGEX_REGEX_PARSER_H_
+#define DSW_REGEX_REGEX_PARSER_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace dsw {
+
+struct RegexNode {
+  enum class Kind {
+    kAtom,         // a label name; `label` is set, no children
+    kConcat,       // >= 2 children, in order
+    kAlternation,  // >= 2 children
+    kStar,         // one child, zero or more repetitions
+    kPlus,         // one child, one or more repetitions
+    kOptional,     // one child, zero or one occurrence
+  };
+
+  Kind kind;
+  std::string label;  // kAtom only
+  std::vector<std::unique_ptr<RegexNode>> children;
+
+  /// Number of atom occurrences — the size measure |R| of the paper's
+  /// translation bounds (Thompson O(|R|), Glushkov O(|R|^2)).
+  size_t NumAtoms() const {
+    if (kind == Kind::kAtom) return 1;
+    size_t n = 0;
+    for (const auto& c : children) n += c->NumAtoms();
+    return n;
+  }
+};
+
+/// Status-or result of ParseRegex: ok() iff parsing succeeded, in which
+/// case value() is the AST root; otherwise error() describes the failure.
+class RegexParseResult {
+ public:
+  /// Default state is a failure with an empty message; use the factories.
+  RegexParseResult() = default;
+
+  static RegexParseResult Success(std::unique_ptr<RegexNode> node) {
+    RegexParseResult r;
+    r.node_ = std::move(node);
+    return r;
+  }
+  static RegexParseResult Failure(std::string message) {
+    RegexParseResult r;
+    r.error_ = std::move(message);
+    return r;
+  }
+
+  bool ok() const { return node_ != nullptr; }
+  /// The AST root; non-null iff ok().
+  const RegexNode* value() const { return node_.get(); }
+  /// Human-readable failure description; empty iff ok().
+  const std::string& error() const { return error_; }
+
+ private:
+  std::unique_ptr<RegexNode> node_;
+  std::string error_;
+};
+
+namespace regex_detail {
+
+inline bool IsAtomChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_';
+}
+
+inline bool IsSpace(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+}
+
+// Recursive-descent parser. On error sets error_ once (the first error
+// wins) and unwinds by returning nullptr.
+//
+// Depth limits: parsing, both automaton constructions, and the AST's
+// own destructor all recurse over the tree, so pathological inputs
+// ("(((((...", "a*****...") must fail through the status-or path, not
+// blow the stack. Group nesting and per-atom postfix stacking are
+// capped; the product of the two bounds the depth of every recursion
+// in the front-end. Real RPQs sit orders of magnitude below both caps.
+class Parser {
+ public:
+  explicit Parser(std::string_view in) : in_(in) {}
+
+  RegexParseResult Parse() {
+    std::unique_ptr<RegexNode> node = ParseAlternation();
+    if (node != nullptr) {
+      SkipSpace();
+      if (pos_ < in_.size()) {
+        Fail(in_[pos_] == ')' ? "unmatched ')'" : "trailing input");
+        node = nullptr;
+      }
+    }
+    if (node == nullptr) return RegexParseResult::Failure(error_);
+    return RegexParseResult::Success(std::move(node));
+  }
+
+ private:
+  static constexpr int kMaxGroupDepth = 500;
+  static constexpr int kMaxPostfixStack = 16;
+
+  void SkipSpace() {
+    while (pos_ < in_.size() && IsSpace(in_[pos_])) ++pos_;
+  }
+
+  // Peeks past whitespace; '\0' at end of input.
+  char Peek() {
+    SkipSpace();
+    return pos_ < in_.size() ? in_[pos_] : '\0';
+  }
+
+  void Fail(std::string_view what) {
+    if (!error_.empty()) return;  // keep the innermost, earliest error
+    error_ = std::string(what);
+    error_ += " at position ";
+    error_ += std::to_string(pos_);
+  }
+
+  static std::unique_ptr<RegexNode> Wrap(RegexNode::Kind kind,
+                                         std::unique_ptr<RegexNode> child) {
+    auto node = std::make_unique<RegexNode>();
+    node->kind = kind;
+    node->children.push_back(std::move(child));
+    return node;
+  }
+
+  // Collapses a one-element child list to the child itself so "((a))"
+  // and "a|b" (each branch) yield minimal trees.
+  static std::unique_ptr<RegexNode> Collapse(
+      RegexNode::Kind kind, std::vector<std::unique_ptr<RegexNode>> parts) {
+    if (parts.size() == 1) return std::move(parts.front());
+    auto node = std::make_unique<RegexNode>();
+    node->kind = kind;
+    node->children = std::move(parts);
+    return node;
+  }
+
+  // alternation := concat ('|' concat)*
+  std::unique_ptr<RegexNode> ParseAlternation() {
+    std::vector<std::unique_ptr<RegexNode>> branches;
+    do {
+      std::unique_ptr<RegexNode> branch = ParseConcat();
+      if (branch == nullptr) return nullptr;
+      branches.push_back(std::move(branch));
+    } while (Consume('|'));
+    return Collapse(RegexNode::Kind::kAlternation, std::move(branches));
+  }
+
+  bool Consume(char c) {
+    if (Peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  // concat := repeat+ (juxtaposition; stops at '|', ')' or end)
+  std::unique_ptr<RegexNode> ParseConcat() {
+    std::vector<std::unique_ptr<RegexNode>> parts;
+    while (true) {
+      char c = Peek();
+      if (c == '\0' || c == '|' || c == ')') break;
+      std::unique_ptr<RegexNode> part = ParseRepeat();
+      if (part == nullptr) return nullptr;
+      parts.push_back(std::move(part));
+    }
+    if (parts.empty()) {
+      Fail("empty expression");
+      return nullptr;
+    }
+    return Collapse(RegexNode::Kind::kConcat, std::move(parts));
+  }
+
+  // repeat := atom ('*' | '+' | '?')*  (postfix operators stack)
+  std::unique_ptr<RegexNode> ParseRepeat() {
+    std::unique_ptr<RegexNode> node = ParseAtom();
+    int stacked = 0;
+    while (node != nullptr) {
+      char c = Peek();
+      if (c == '*')
+        node = Wrap(RegexNode::Kind::kStar, std::move(node));
+      else if (c == '+')
+        node = Wrap(RegexNode::Kind::kPlus, std::move(node));
+      else if (c == '?')
+        node = Wrap(RegexNode::Kind::kOptional, std::move(node));
+      else
+        break;
+      if (++stacked > kMaxPostfixStack) {
+        Fail("repetition operators stacked too deep");
+        return nullptr;
+      }
+      ++pos_;
+    }
+    return node;
+  }
+
+  // atom := LABEL | '(' alternation ')'
+  std::unique_ptr<RegexNode> ParseAtom() {
+    char c = Peek();
+    if (c == '(') {
+      if (++group_depth_ > kMaxGroupDepth) {
+        Fail("groups nested too deep");
+        return nullptr;
+      }
+      ++pos_;
+      std::unique_ptr<RegexNode> inner = ParseAlternation();
+      if (inner == nullptr) return nullptr;
+      if (!Consume(')')) {
+        Fail("expected ')'");
+        return nullptr;
+      }
+      --group_depth_;
+      return inner;
+    }
+    if (!IsAtomChar(c)) {
+      Fail(c == '\0' ? std::string_view("unexpected end of input")
+           : c == '*' || c == '+' || c == '?'
+               ? std::string_view("repetition operator with no operand")
+               : std::string_view("unexpected character"));
+      return nullptr;
+    }
+    size_t start = pos_;
+    while (pos_ < in_.size() && IsAtomChar(in_[pos_])) ++pos_;
+    auto node = std::make_unique<RegexNode>();
+    node->kind = RegexNode::Kind::kAtom;
+    node->label = std::string(in_.substr(start, pos_ - start));
+    return node;
+  }
+
+  std::string_view in_;
+  size_t pos_ = 0;
+  int group_depth_ = 0;
+  std::string error_;
+};
+
+}  // namespace regex_detail
+
+/// Parses \p pattern into a RegexNode AST. Never throws; syntax errors
+/// are reported through the returned status-or.
+inline RegexParseResult ParseRegex(std::string_view pattern) {
+  return regex_detail::Parser(pattern).Parse();
+}
+
+}  // namespace dsw
+
+#endif  // DSW_REGEX_REGEX_PARSER_H_

@@ -1,5 +1,6 @@
 // Unit tests for the annotation stage: lambda computation, unreachable
-// instances, self-loops, and parallel multi-label edges.
+// instances, self-loops, parallel multi-label edges, and epsilon-closure
+// saturation for epsilon-NFA queries (Section 5.1).
 
 #include <gtest/gtest.h>
 
@@ -135,6 +136,97 @@ TEST(AnnotateTest, EmptyWalkWhenSourceIsTargetAndQueryAcceptsEpsilon) {
   EXPECT_TRUE(en.walk().edges.empty());
   en.Next();
   EXPECT_FALSE(en.Valid());
+}
+
+TEST(AnnotateTest, EpsilonBeforeFirstLabeledStep) {
+  // q0 -eps-> q1 -a-> q2: the initial level must be closure-saturated or
+  // the a-edge is never taken.
+  Database db;
+  uint32_t s = db.AddVertex(), t = db.AddVertex();
+  uint32_t a = db.labels().Intern("a");
+  db.AddEdge(s, a, t);
+  Nfa nfa(3);
+  nfa.AddInitial(0);
+  nfa.AddFinal(2);
+  nfa.AddEpsilonTransition(0, 1);
+  nfa.AddTransition(1, a, 2);
+  Annotation ann = Annotate(db, nfa, s, t);
+  ASSERT_TRUE(ann.reachable());
+  EXPECT_EQ(ann.lambda, 1);
+  EXPECT_TRUE(ann.has_epsilon());
+  EXPECT_EQ(CountAnswers(db, nfa, s, t), 1u);
+}
+
+TEST(AnnotateTest, EpsilonAfterLastLabeledStep) {
+  // q0 -a-> q1 -eps-> q2 (final): acceptance must see through the
+  // trailing epsilon-move.
+  Database db;
+  uint32_t s = db.AddVertex(), t = db.AddVertex();
+  uint32_t a = db.labels().Intern("a");
+  db.AddEdge(s, a, t);
+  Nfa nfa(3);
+  nfa.AddInitial(0);
+  nfa.AddFinal(2);
+  nfa.AddTransition(0, a, 1);
+  nfa.AddEpsilonTransition(1, 2);
+  Annotation ann = Annotate(db, nfa, s, t);
+  ASSERT_TRUE(ann.reachable());
+  EXPECT_EQ(ann.lambda, 1);
+  EXPECT_EQ(CountAnswers(db, nfa, s, t), 1u);
+}
+
+TEST(AnnotateTest, EpsilonCyclesTerminate) {
+  // q0 and q1 form an epsilon-cycle (as Thompson's construction emits
+  // for nested stars); closure saturation must not loop.
+  Database db;
+  uint32_t s = db.AddVertex(), t = db.AddVertex();
+  uint32_t a = db.labels().Intern("a");
+  db.AddEdge(s, a, t);
+  Nfa nfa(3);
+  nfa.AddInitial(0);
+  nfa.AddFinal(2);
+  nfa.AddEpsilonTransition(0, 1);
+  nfa.AddEpsilonTransition(1, 0);
+  nfa.AddTransition(1, a, 2);
+  EXPECT_EQ(CountAnswers(db, nfa, s, t), 1u);
+}
+
+TEST(AnnotateTest, EpsilonOnlyAcceptanceYieldsTheEmptyWalk) {
+  // source == target and the query accepts epsilon through a chain of
+  // epsilon-moves only: lambda = 0, one empty answer.
+  Database db;
+  uint32_t s = db.AddVertex();
+  db.labels().Intern("l0");
+  db.AddEdge(s, 0u, s);
+  Nfa nfa(3);
+  nfa.AddInitial(0);
+  nfa.AddFinal(2);
+  nfa.AddEpsilonTransition(0, 1);
+  nfa.AddEpsilonTransition(1, 2);
+  nfa.AddTransition(0, 0u, 0);  // the loop label keeps longer walks legal
+  Annotation ann = Annotate(db, nfa, s, s);
+  ASSERT_TRUE(ann.reachable());
+  EXPECT_EQ(ann.lambda, 0);
+  EXPECT_EQ(CountAnswers(db, nfa, s, s), 1u);
+}
+
+TEST(AnnotateTest, EpsilonDoesNotShortenBelowTheLabeledDistance) {
+  // Epsilon-moves advance the automaton, never the walk: lambda still
+  // counts data edges.
+  Database db;
+  uint32_t v0 = db.AddVertex(), v1 = db.AddVertex(), v2 = db.AddVertex();
+  uint32_t a = db.labels().Intern("a");
+  db.AddEdge(v0, a, v1);
+  db.AddEdge(v1, a, v2);
+  Nfa nfa(4);
+  nfa.AddInitial(0);
+  nfa.AddFinal(3);
+  nfa.AddTransition(0, a, 1);
+  nfa.AddEpsilonTransition(1, 2);
+  nfa.AddTransition(2, a, 3);
+  Annotation ann = Annotate(db, nfa, v0, v2);
+  ASSERT_TRUE(ann.reachable());
+  EXPECT_EQ(ann.lambda, 2);
 }
 
 TEST(AnnotateTest, AnnotationSnapshotsTheQuery) {

@@ -1,0 +1,73 @@
+// Unit tests for Database and LabelDictionary, pinning the contract the
+// regex front-end relies on: mutable_dict() is a stable pointer into the
+// database, and Intern is idempotent, so recompiling a query inside a
+// bench loop never changes label ids or grows the dictionary.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/database.h"
+#include "workload/generators.h"
+
+namespace dsw {
+namespace {
+
+TEST(LabelDictionaryTest, InternIsIdempotent) {
+  LabelDictionary dict;
+  uint32_t a = dict.Intern("a");
+  uint32_t b = dict.Intern("b");
+  EXPECT_NE(a, b);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(dict.Intern("a"), a);
+    EXPECT_EQ(dict.Intern("b"), b);
+  }
+  EXPECT_EQ(dict.size(), 2u);
+  EXPECT_EQ(dict.Name(a), "a");
+  EXPECT_EQ(dict.Name(b), "b");
+}
+
+TEST(LabelDictionaryTest, FindDoesNotCreate) {
+  LabelDictionary dict;
+  EXPECT_EQ(dict.Find("missing"), LabelDictionary::kInvalid);
+  EXPECT_EQ(dict.size(), 0u);
+  uint32_t id = dict.Intern("present");
+  EXPECT_EQ(dict.Find("present"), id);
+}
+
+TEST(DatabaseTest, MutableDictIsStableAcrossMutations) {
+  Database db;
+  LabelDictionary* dict = db.mutable_dict();
+  ASSERT_NE(dict, nullptr);
+  EXPECT_EQ(dict, &db.labels());
+
+  uint32_t l0 = dict->Intern("l0");
+  db.AddVertices(100);
+  for (uint32_t v = 0; v + 1 < 100; ++v) db.AddEdge(v, "l1", v + 1);
+
+  // Same pointer, same ids, after vertex/edge growth.
+  EXPECT_EQ(db.mutable_dict(), dict);
+  EXPECT_EQ(dict->Intern("l0"), l0);
+  EXPECT_EQ(dict->size(), 2u);
+}
+
+TEST(DatabaseTest, RepeatedInterningThroughInstanceIsIdempotent) {
+  // Mirror of bench_regex's timed loop: interning the generator's
+  // labels over and over through mutable_dict() must be a no-op.
+  Instance inst = BubbleChain(3, 2);
+  uint32_t size_before = inst.db.labels().size();
+  uint32_t l0 = inst.db.labels().Find("l0");
+  ASSERT_NE(l0, LabelDictionary::kInvalid);
+  for (int round = 0; round < 10; ++round) {
+    LabelDictionary* dict = inst.db.mutable_dict();
+    EXPECT_EQ(dict->Intern("l0"), l0);
+    std::string name("l");
+    name += std::to_string(round % 2);
+    EXPECT_EQ(dict->Intern(name),
+              round % 2 == 0 ? l0 : inst.db.labels().Find("l1"));
+  }
+  EXPECT_EQ(inst.db.labels().size(), size_before);
+}
+
+}  // namespace
+}  // namespace dsw

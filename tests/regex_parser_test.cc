@@ -1,0 +1,204 @@
+// Unit tests for the regex front-end parser: tokenization of multi-char
+// label atoms, operator precedence, grouping/nesting, postfix stacking,
+// and error reporting through the status-or result. A few language-level
+// checks run the parsed AST through both automaton constructions and
+// compare Accepts() verdicts, so the parse tree shape is pinned down by
+// semantics as well as structure.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "automaton/glushkov.h"
+#include "automaton/thompson.h"
+#include "core/database.h"
+#include "regex/regex_parser.h"
+
+namespace dsw {
+namespace {
+
+using Kind = RegexNode::Kind;
+
+const RegexNode& Parse(const std::string& pattern, RegexParseResult* out) {
+  *out = ParseRegex(pattern);
+  EXPECT_TRUE(out->ok()) << pattern << ": " << out->error();
+  return *out->value();
+}
+
+TEST(RegexParserTest, SingleAtomKeepsTheWholeName) {
+  RegexParseResult r;
+  const RegexNode& node = Parse("knows_v2", &r);
+  EXPECT_EQ(node.kind, Kind::kAtom);
+  EXPECT_EQ(node.label, "knows_v2");
+  EXPECT_EQ(node.NumAtoms(), 1u);
+}
+
+TEST(RegexParserTest, DigitsBelongToTheAtom) {
+  // "l10" is one label; "l1 l0" is a concatenation of two.
+  RegexParseResult r;
+  const RegexNode& one = Parse("l10", &r);
+  EXPECT_EQ(one.kind, Kind::kAtom);
+  EXPECT_EQ(one.label, "l10");
+
+  const RegexNode& two = Parse("l1 l0", &r);
+  ASSERT_EQ(two.kind, Kind::kConcat);
+  ASSERT_EQ(two.children.size(), 2u);
+  EXPECT_EQ(two.children[0]->label, "l1");
+  EXPECT_EQ(two.children[1]->label, "l0");
+}
+
+TEST(RegexParserTest, RepetitionBindsTighterThanConcatenation) {
+  RegexParseResult r;
+  const RegexNode& node = Parse("a b*", &r);
+  ASSERT_EQ(node.kind, Kind::kConcat);
+  ASSERT_EQ(node.children.size(), 2u);
+  EXPECT_EQ(node.children[0]->kind, Kind::kAtom);
+  ASSERT_EQ(node.children[1]->kind, Kind::kStar);
+  EXPECT_EQ(node.children[1]->children[0]->label, "b");
+}
+
+TEST(RegexParserTest, ConcatenationBindsTighterThanAlternation) {
+  RegexParseResult r;
+  const RegexNode& node = Parse("a b|c d", &r);
+  ASSERT_EQ(node.kind, Kind::kAlternation);
+  ASSERT_EQ(node.children.size(), 2u);
+  EXPECT_EQ(node.children[0]->kind, Kind::kConcat);
+  EXPECT_EQ(node.children[1]->kind, Kind::kConcat);
+}
+
+TEST(RegexParserTest, GroupingOverridesPrecedence) {
+  RegexParseResult r;
+  const RegexNode& node = Parse("(a|b) c", &r);
+  ASSERT_EQ(node.kind, Kind::kConcat);
+  ASSERT_EQ(node.children.size(), 2u);
+  EXPECT_EQ(node.children[0]->kind, Kind::kAlternation);
+  EXPECT_EQ(node.children[1]->label, "c");
+
+  const RegexNode& starred = Parse("(a b)*", &r);
+  ASSERT_EQ(starred.kind, Kind::kStar);
+  EXPECT_EQ(starred.children[0]->kind, Kind::kConcat);
+}
+
+TEST(RegexParserTest, RedundantParenthesesCollapse) {
+  RegexParseResult r;
+  const RegexNode& node = Parse("((a))", &r);
+  EXPECT_EQ(node.kind, Kind::kAtom);
+  EXPECT_EQ(node.label, "a");
+}
+
+TEST(RegexParserTest, AlternationFlattensAcrossBranches) {
+  RegexParseResult r;
+  const RegexNode& node = Parse("a|b|c|d", &r);
+  ASSERT_EQ(node.kind, Kind::kAlternation);
+  EXPECT_EQ(node.children.size(), 4u);
+  EXPECT_EQ(node.NumAtoms(), 4u);
+}
+
+TEST(RegexParserTest, PostfixOperatorsStack) {
+  RegexParseResult r;
+  const RegexNode& node = Parse("a+?", &r);
+  ASSERT_EQ(node.kind, Kind::kOptional);
+  ASSERT_EQ(node.children[0]->kind, Kind::kPlus);
+  EXPECT_EQ(node.children[0]->children[0]->label, "a");
+}
+
+TEST(RegexParserTest, ErrorCasesReturnNotOk) {
+  const char* bad[] = {
+      "",        // empty pattern
+      "   ",     // only whitespace
+      "(",       // unterminated group
+      "(a",      // unterminated group with content
+      "a)",      // unmatched close
+      "()",      // empty group
+      "|a",      // leading bare alternation
+      "a|",      // trailing bare alternation
+      "a||b",    // empty middle branch
+      "*",       // repetition with no operand
+      "a (*)",   // repetition with no operand, nested
+      "a&b",     // character outside the atom alphabet
+  };
+  for (const char* pattern : bad) {
+    RegexParseResult r = ParseRegex(pattern);
+    EXPECT_FALSE(r.ok()) << "accepted: \"" << pattern << "\"";
+    EXPECT_EQ(r.value(), nullptr);
+    EXPECT_FALSE(r.error().empty()) << pattern;
+  }
+}
+
+TEST(RegexParserTest, PathologicalDepthFailsInsteadOfOverflowingTheStack) {
+  // Parsing, both automaton builders, and the AST destructor all
+  // recurse over the tree; hostile inputs must come back through the
+  // status-or path, not crash the process.
+  std::string deep_open(100000, '(');
+  EXPECT_FALSE(ParseRegex(deep_open).ok());
+  std::string deep_balanced(100000, '(');
+  deep_balanced += "a";
+  deep_balanced += std::string(100000, ')');
+  EXPECT_FALSE(ParseRegex(deep_balanced).ok());
+  std::string star_stack("a");
+  star_stack += std::string(100000, '*');
+  EXPECT_FALSE(ParseRegex(star_stack).ok());
+
+  // Reasonable nesting and stacking stay accepted.
+  std::string ok_nested(50, '(');
+  ok_nested += "a";
+  ok_nested += std::string(50, ')');
+  EXPECT_TRUE(ParseRegex(ok_nested).ok());
+  std::string ok_stars("a");
+  ok_stars += std::string(8, '*');
+  EXPECT_TRUE(ParseRegex(ok_stars).ok());
+}
+
+TEST(RegexParserTest, ErrorMessagesCarryAPosition) {
+  RegexParseResult r = ParseRegex("a b &");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().find("position 4"), std::string::npos) << r.error();
+}
+
+// Semantic pin: both constructions of the same AST agree with hand
+// membership expectations, including epsilon acceptance.
+TEST(RegexParserTest, ParsedLanguageMatchesExpectations) {
+  RegexParseResult r = ParseRegex("(a|b)* b (a|b)*");
+  ASSERT_TRUE(r.ok()) << r.error();
+  LabelDictionary dict;
+  uint32_t a = dict.Intern("a"), b = dict.Intern("b");
+  Nfa thompson = ThompsonNfa(*r.value(), &dict);
+  Nfa glushkov = GlushkovNfa(*r.value(), &dict);
+  EXPECT_GT(thompson.num_epsilon_transitions(), 0u);
+  EXPECT_EQ(glushkov.num_epsilon_transitions(), 0u);
+
+  std::vector<std::vector<uint32_t>> accepted = {
+      {b}, {a, b}, {b, a}, {b, b}, {a, b, a}};
+  std::vector<std::vector<uint32_t>> rejected = {{}, {a}, {a, a}};
+  for (const auto& word : accepted) {
+    EXPECT_TRUE(thompson.Accepts(word));
+    EXPECT_TRUE(glushkov.Accepts(word));
+  }
+  for (const auto& word : rejected) {
+    EXPECT_FALSE(thompson.Accepts(word));
+    EXPECT_FALSE(glushkov.Accepts(word));
+  }
+}
+
+TEST(RegexParserTest, OptionalAndPlusSemantics) {
+  LabelDictionary dict;
+  uint32_t a = dict.Intern("a");
+
+  RegexParseResult plus = ParseRegex("a+");
+  ASSERT_TRUE(plus.ok());
+  Nfa plus_nfa = ThompsonNfa(*plus.value(), &dict);
+  EXPECT_FALSE(plus_nfa.Accepts({}));
+  EXPECT_TRUE(plus_nfa.Accepts({a}));
+  EXPECT_TRUE(plus_nfa.Accepts({a, a, a}));
+
+  RegexParseResult opt = ParseRegex("a?");
+  ASSERT_TRUE(opt.ok());
+  Nfa opt_nfa = ThompsonNfa(*opt.value(), &dict);
+  EXPECT_TRUE(opt_nfa.Accepts({}));
+  EXPECT_TRUE(opt_nfa.Accepts({a}));
+  EXPECT_FALSE(opt_nfa.Accepts({a, a}));
+}
+
+}  // namespace
+}  // namespace dsw

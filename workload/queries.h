@@ -1,10 +1,12 @@
-// Query automata used by the experiments. Label ids are 0..L-1 and match
-// the interning order of the generators ("l0", "l1", ...).
+// Query automata and regex families used by the experiments. Label ids
+// are 0..L-1 and match the interning order of the generators ("l0",
+// "l1", ...).
 
 #ifndef DSW_WORKLOAD_QUERIES_H_
 #define DSW_WORKLOAD_QUERIES_H_
 
 #include <cstdint>
+#include <string>
 
 #include "core/nfa.h"
 
@@ -53,6 +55,22 @@ inline Nfa CompleteNfa(uint32_t num_states, uint32_t num_labels) {
       for (uint32_t l = 0; l < num_labels; ++l)
         nfa.AddTransition(from, l, to);
   return nfa;
+}
+
+/// The E9 regex family (l0|...|l_{m-1})* l0 (l0|...|l_{m-1})*: words
+/// over {l0..l_{m-1}} containing at least one l0. |R| = 2m + 1 atoms;
+/// Thompson compiles it to O(m) transitions, Glushkov to O(m^2) — the
+/// crossover family of Corollary 20. Shared by bench_regex and the
+/// front-end equivalence tests so both always measure the same family.
+inline std::string ContainsL0Regex(uint32_t m) {
+  std::string any = "(";
+  for (uint32_t i = 0; i < m; ++i) {
+    if (i > 0) any += "|";
+    any += "l";
+    any += std::to_string(i);
+  }
+  any += ")*";
+  return any + " l0 " + any;
 }
 
 }  // namespace dsw
