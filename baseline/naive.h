@@ -5,7 +5,13 @@
 //
 // The search is restricted to level-consistent product edges (the BFS
 // annotation), i.e. this is the strongest naive variant: it never
-// wanders off shortest paths, and still drowns in duplicates.
+// wanders off shortest paths, and still drowns in duplicates. It reads
+// the same Annotation snapshot as the trimmed pipeline (precompiled
+// delta rows + epsilon-closures), branching on closure-collapsed
+// *effective* steps eps* . label . eps*: distinct epsilon-paths between
+// the same labeled steps count as one run, for epsilon-free and
+// epsilon-NFAs alike — which keeps the oracle honest against the
+// label-stratified pipeline without inheriting its trimming.
 
 #ifndef DSW_BASELINE_NAIVE_H_
 #define DSW_BASELINE_NAIVE_H_
@@ -41,6 +47,9 @@ struct Search {
   NaiveResult* res;
   std::set<std::vector<uint32_t>>* seen;
   std::vector<uint32_t>* prefix;
+  // Per-depth scratch for the effective-step target sets: the recursion
+  // iterates targets[depth] while deeper calls fill their own slot.
+  std::vector<StateSet>* targets;
 
   void Run(uint32_t v, uint32_t q, uint32_t depth) {
     if (res->budget_exhausted) return;
@@ -59,32 +68,19 @@ struct Search {
     }
     for (uint32_t e : db->OutEdges(v)) {
       const Edge& edge = db->edge(e);
-      const StateSet* next = ann->StatesAt(depth + 1, edge.dst);
-      if (next == nullptr) continue;
-      if (!ann->has_epsilon()) {
-        for (const auto& [label, to] : ann->transitions[q]) {
-          if (label != edge.label || !next->Test(to)) continue;
-          prefix->push_back(e);
-          Run(edge.dst, to, depth + 1);
-          prefix->pop_back();
-          if (res->budget_exhausted) return;
-        }
-      } else {
-        // Epsilon-NFAs: branch on closure-collapsed effective steps
-        // (eps* label eps*); distinct epsilon-paths between the same
-        // labeled steps count as one run.
-        StateSet targets(ann->num_states);
-        ann->ForEachEffectiveStep(q, edge.label, [&](uint32_t to) {
-          if (next->Test(to)) targets.Set(to);
-        });
-        targets.ForEach([&](uint32_t to) {
-          if (res->budget_exhausted) return;
-          prefix->push_back(e);
-          Run(edge.dst, to, depth + 1);
-          prefix->pop_back();
-        });
+      StateSetView next = ann->StatesAt(depth + 1, edge.dst);
+      if (!next) continue;
+      StateSet& step = (*targets)[depth];
+      step.ZeroAll();
+      ann->EffectiveSuccessorsInto(q, edge.label, &step);
+      step &= next;
+      step.ForEach([&](uint32_t to) {
         if (res->budget_exhausted) return;
-      }
+        prefix->push_back(e);
+        Run(edge.dst, to, depth + 1);
+        prefix->pop_back();
+      });
+      if (res->budget_exhausted) return;
     }
   }
 };
@@ -107,11 +103,13 @@ inline NaiveResult NaiveDistinctShortestWalks(const Database& db,
 
   std::set<std::vector<uint32_t>> seen;
   std::vector<uint32_t> prefix;
-  naive_detail::Search search{&db, &ann, target, max_paths, &res, &seen,
-                              &prefix};
+  std::vector<StateSet> targets(static_cast<size_t>(ann.lambda),
+                                StateSet(ann.num_states));
+  naive_detail::Search search{&db,  &ann,    target,  max_paths,
+                              &res, &seen,   &prefix, &targets};
   // One search per initial state: a run fixes its starting state.
   query.initial().ForEach([&](uint32_t q0) {
-    if (const StateSet* l0 = ann.StatesAt(0, source); l0 && l0->Test(q0))
+    if (StateSetView l0 = ann.StatesAt(0, source); l0 && l0.Test(q0))
       search.Run(source, q0, 0);
   });
   return res;

@@ -70,6 +70,53 @@ void BM_Preprocess_VsAutomatonSize(benchmark::State& state) {
 }
 BENCHMARK(BM_Preprocess_VsAutomatonSize)->RangeMultiplier(2)->Range(2, 64);
 
+// E1g: Grid workload at |Q| >= 64 — the acceptance workload for the
+// label-stratified hot path. StaircaseNfa(63, 1) has 64 states; on an
+// n x n grid (n >= 33) lambda = 2(n - 1) >= 63, so annotation visits
+// every level of a maximally wide staircase. Arg: grid side n.
+void BM_Preprocess_Grid(benchmark::State& state) {
+  uint32_t n = static_cast<uint32_t>(state.range(0));
+  Instance inst = Grid(n, n);
+  Nfa query = StaircaseNfa(63, 1);
+
+  for (auto _ : state) {
+    Annotation ann = Annotate(inst.db, query, inst.source, inst.target);
+    TrimmedIndex index(inst.db, ann);
+    benchmark::DoNotOptimize(index.num_slots());
+  }
+  state.counters["edges"] = static_cast<double>(inst.db.num_edges());
+  state.counters["states"] = static_cast<double>(query.num_states());
+  state.counters["ns_per_edge"] = benchmark::Counter(
+      static_cast<double>(inst.db.num_edges()),
+      benchmark::Counter::kIsIterationInvariantRate |
+          benchmark::Counter::kInvert);
+}
+BENCHMARK(BM_Preprocess_Grid)->Arg(33)->Arg(48)->Arg(64);
+
+// E1n: EmbedInNoise workload at |Q| >= 64 — a BubbleChain core
+// (lambda = 64) drowned in reachable-but-useless noise, so annotation
+// wades through the noise at full staircase width while trimming cuts
+// straight back to the core. Arg: noise vertex count (edges = 4x).
+void BM_Preprocess_EmbedInNoise(benchmark::State& state) {
+  Instance core = BubbleChain(32, 2);
+  uint32_t noise = static_cast<uint32_t>(state.range(0));
+  Instance inst = EmbedInNoise(core, noise, 4 * noise, 97);
+  Nfa query = StaircaseNfa(64, 2);
+
+  for (auto _ : state) {
+    Annotation ann = Annotate(inst.db, query, inst.source, inst.target);
+    TrimmedIndex index(inst.db, ann);
+    benchmark::DoNotOptimize(index.num_slots());
+  }
+  state.counters["edges"] = static_cast<double>(inst.db.num_edges());
+  state.counters["states"] = static_cast<double>(query.num_states());
+  state.counters["ns_per_edge"] = benchmark::Counter(
+      static_cast<double>(inst.db.num_edges()),
+      benchmark::Counter::kIsIterationInvariantRate |
+          benchmark::Counter::kInvert);
+}
+BENCHMARK(BM_Preprocess_EmbedInNoise)->Arg(512)->Arg(2048)->Arg(8192);
+
 // E2b: densest possible query (complete automaton) to stress |Delta|.
 void BM_Preprocess_CompleteQuery(benchmark::State& state) {
   LayeredGraphParams params;

@@ -1,8 +1,14 @@
 #include "core/annotate.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace dsw {
+namespace {
+
+constexpr uint32_t kNoSlot = UINT32_MAX;
+
+}  // namespace
 
 Annotation Annotate(const Database& db, const Nfa& query, uint32_t source,
                     uint32_t target) {
@@ -10,86 +16,117 @@ Annotation Annotate(const Database& db, const Nfa& query, uint32_t source,
   ann.num_states = query.num_states();
   ann.source = source;
   ann.target = target;
-  ann.transitions.reserve(query.num_states());
-  for (uint32_t q = 0; q < query.num_states(); ++q)
-    ann.transitions.push_back(query.Transitions(q));
   ann.final_states = query.final_states();
   if (query.has_epsilon()) ann.eps_closure = query.EpsilonClosures();
+  ann.delta = CompiledDelta(query, ann.eps_closure);  // closures shared
 
   if (source >= db.num_vertices() || target >= db.num_vertices() ||
       query.num_states() == 0 || query.initial().None())
     return ann;
 
-  // seen[v] marks product pairs already assigned a level; allocated
-  // lazily so the BFS stays O(visited), not O(|V| x |Q|).
-  std::vector<StateSet> seen(db.num_vertices());
-  auto mark = [&](uint32_t v, uint32_t q) -> bool {
-    StateSet& s = seen[v];
-    if (s.capacity() == 0) s.Resize(query.num_states());
-    if (s.Test(q)) return false;
-    s.Set(q);
-    return true;
-  };
+  const LabelIndex& adj = db.label_index();
+  const CompiledDelta& delta = ann.delta;
+  const uint32_t num_vertices = db.num_vertices();
+  const uint32_t wps = ann.words_per_set();
 
-  // Saturates a per-vertex state set with epsilon-closures, marking the
-  // newly reached pairs at the current level. eps_closure entries are
-  // transitively closed, so one pass over the pre-closure members
-  // suffices. (v, q) pairs reached only by epsilon still get marked
-  // exactly once, so the BFS stays O(|D| x |A|) — the Section 5.1
-  // "epsilon for free" argument. closed is hoisted scratch: saturate
-  // runs once per annotated vertex per level, inside the preprocessing
-  // loop E1/E2 measure.
-  StateSet closed(query.num_states());
-  auto saturate = [&](uint32_t v, StateSet* states) {
-    if (ann.eps_closure.empty()) return;
-    closed.ZeroAll();
-    states->ForEach([&](uint32_t q) { closed |= ann.eps_closure[q]; });
-    closed.ForEach([&](uint32_t r) {
-      if (mark(v, r)) states->Set(r);
-    });
-  };
+  // seen: flat V x |Q| bit matrix of product pairs already assigned a
+  // level. One zeroed calloc-style allocation; the BFS itself touches
+  // only visited rows.
+  std::vector<uint64_t> seen(static_cast<size_t>(num_vertices) * wps, 0);
 
-  std::unordered_map<uint32_t, StateSet> frontier;
+  // Next-frontier accumulator: dense per-vertex slot table + touched
+  // list, so building a level is O(touched) with no hashing. Sealing
+  // sorts the touched vertices when they are sparse and linear-scans the
+  // slot table when they are dense (>= 1/16 of V) — the scan is cheaper
+  // than the sort's branchy compares at that density.
+  std::vector<uint32_t> slot(num_vertices, kNoSlot);
+  std::vector<uint32_t> touched;
+  std::vector<uint32_t> sorted;
+  std::vector<uint64_t> slot_words;
+
+  // Level 0: closure-saturated initial states at the source. Later
+  // levels stay saturated by induction — delta rows compose the
+  // after-side closure, and a union of closed sets is closed.
   StateSet init = query.initial();
-  init.ForEach([&](uint32_t q) { mark(source, q); });
-  saturate(source, &init);
-  frontier.emplace(source, std::move(init));
+  if (ann.has_epsilon()) {
+    StateSet saturated(ann.num_states);
+    init.ForEach(
+        [&](uint32_t q) { saturated.UnionWith(ann.eps_closure[q]); });
+    init = std::move(saturated);
+  }
+  for (uint32_t w = 0; w < wps; ++w)
+    seen[static_cast<size_t>(source) * wps + w] = init.words()[w];
 
-  auto accepts_here = [&](const std::unordered_map<uint32_t, StateSet>& lvl) {
-    auto it = lvl.find(target);
-    return it != lvl.end() && it->second.Intersects(query.final_states());
-  };
+  LevelSets frontier(ann.num_states);
+  frontier.Append(source, init.words());
+
+  StateSet moved(ann.num_states);
+  std::vector<uint64_t> add_buf(wps);  // new bits of one relaxed edge
 
   while (!frontier.empty()) {
     ann.levels.push_back(std::move(frontier));
-    const auto& current = ann.levels.back();
-    uint32_t level = static_cast<uint32_t>(ann.levels.size() - 1);
-    if (accepts_here(current)) {
-      ann.lambda = static_cast<int32_t>(level);
+    const LevelSets& current = ann.levels.back();
+    if (StateSetView at_target = current.Find(target);
+        at_target && at_target.Intersects(ann.final_states)) {
+      ann.lambda = static_cast<int32_t>(ann.levels.size() - 1);
       return ann;
     }
 
-    std::unordered_map<uint32_t, StateSet> next;
-    for (const auto& [v, states] : current) {
-      for (uint32_t e : db.OutEdges(v)) {
-        const Edge& edge = db.edge(e);
-        StateSet* dst_states = nullptr;
-        states.ForEach([&](uint32_t q) {
-          for (const auto& [label, to] : query.Transitions(q)) {
-            if (label != edge.label) continue;
-            if (!mark(edge.dst, to)) continue;
-            if (dst_states == nullptr) {
-              auto [it, inserted] =
-                  next.try_emplace(edge.dst, StateSet(query.num_states()));
-              dst_states = &it->second;
-            }
-            dst_states->Set(to);
-          }
+    touched.clear();
+    slot_words.clear();
+    for (size_t vi = 0; vi < current.size(); ++vi) {
+      const uint32_t v = current.vertex(vi);
+      const StateSetView states = current.states(vi);
+      for (const LabelIndex::Group& group : adj.GroupsOf(v)) {
+        if (!delta.HasLabel(group.label)) continue;
+        // One move per (vertex, label), shared by every edge of the
+        // group: word-parallel OR of the frontier's delta rows, visiting
+        // only states that actually carry this label.
+        moved.ZeroAll();
+        ForEachAnd(states, delta.Sources(group.label), [&](uint32_t q) {
+          moved.UnionWithWords(delta.SuccessorWords(group.label, q), wps);
         });
+        if (moved.None()) continue;
+        const uint64_t* mw = moved.words();
+        for (const LabelIndex::Target& t : adj.Targets(group)) {
+          uint64_t* sw = &seen[static_cast<size_t>(t.dst) * wps];
+          uint64_t any_new = 0;
+          for (uint32_t w = 0; w < wps; ++w) {
+            add_buf[w] = mw[w] & ~sw[w];
+            any_new |= add_buf[w];
+          }
+          if (any_new == 0) continue;  // every pair already leveled
+          uint32_t s = slot[t.dst];
+          if (s == kNoSlot) {
+            s = static_cast<uint32_t>(touched.size());
+            slot[t.dst] = s;
+            touched.push_back(t.dst);
+            slot_words.resize(slot_words.size() + wps, 0);
+          }
+          uint64_t* nw = &slot_words[static_cast<size_t>(s) * wps];
+          for (uint32_t w = 0; w < wps; ++w) {
+            sw[w] |= add_buf[w];
+            nw[w] |= add_buf[w];
+          }
+        }
       }
     }
-    for (auto& [v, states] : next) saturate(v, &states);
-    frontier = std::move(next);
+
+    // Seal the next level: sorted vertices, contiguous words.
+    frontier = LevelSets(ann.num_states);
+    if (touched.size() >= num_vertices / 16) {
+      for (uint32_t v = 0; v < num_vertices; ++v) {
+        if (slot[v] == kNoSlot) continue;
+        frontier.Append(v, &slot_words[static_cast<size_t>(slot[v]) * wps]);
+        slot[v] = kNoSlot;
+      }
+    } else {
+      sorted.assign(touched.begin(), touched.end());
+      std::sort(sorted.begin(), sorted.end());
+      for (uint32_t v : sorted)
+        frontier.Append(v, &slot_words[static_cast<size_t>(slot[v]) * wps]);
+      for (uint32_t v : touched) slot[v] = kNoSlot;
+    }
   }
 
   // Product exhausted without reaching (target, final): no answer.

@@ -12,32 +12,39 @@
 // product pair lives on exactly one level.
 //
 // Cost: O(|D| x |A|) — each product edge (e, t) with e in E and t in
-// Delta is relaxed at most once.
+// Delta is relaxed at most once. The hot path is label-stratified: the
+// BFS walks the database's CSR LabelIndex ("distinct labels out of v",
+// then "edges of v with label l") and, once per (vertex, label), moves
+// the whole frontier state set with a word-parallel OR of precompiled
+// CompiledDelta rows — shared across every edge of the group. Levels are
+// flat sorted-vertex arrays with contiguous word storage (LevelSets);
+// the only per-level hash-free scratch is a dense slot table plus a
+// touched list.
 //
 // Epsilon-NFAs (Section 5.1, the Thompson front-end) are handled "for
-// free": every per-vertex state set the BFS produces is saturated with
-// epsilon-closures before it becomes a level, and each (v, q) pair is
-// still marked at most once, so the extra cost is bounded by the number
-// of epsilon-transitions. Downstream, levels being closure-saturated
-// means a labeled transition out of *any* member covers the "epsilon
-// before the edge" half of an effective step; the "epsilon after" half
-// is composed into the trimmed moves by TrimmedIndex using the
-// eps_closure snapshot below, so TrimmedEnumerator's state-set
-// propagation needs no change at all.
+// free": CompiledDelta composes the after-side epsilon-closure into
+// every successor row, so a frontier moved through it stays
+// closure-saturated by induction (the initial level is saturated
+// explicitly), and each (v, q) pair is still marked at most once via the
+// seen bitmap. Downstream, levels being closure-saturated means a
+// labeled transition out of *any* member covers the "epsilon before the
+// edge" half of an effective step; the "epsilon after" half is already
+// inside the delta rows TrimmedIndex reuses, so TrimmedEnumerator's
+// state-set propagation needs no change at all.
 //
-// The annotation also snapshots the query's transition table, final
-// states, and per-state epsilon-closures so the later stages
-// (TrimmedIndex, enumerators, whose bench-fixed constructors do not
-// receive the Nfa) need no reference back to it.
+// The annotation also snapshots the compiled query (delta rows, final
+// states, per-state epsilon-closures) so the later stages (TrimmedIndex,
+// enumerators, whose bench-fixed constructors do not receive the Nfa)
+// need no reference back to it.
 
 #ifndef DSW_CORE_ANNOTATE_H_
 #define DSW_CORE_ANNOTATE_H_
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "core/database.h"
+#include "core/level_sets.h"
 #include "core/nfa.h"
 #include "util/state_set.h"
 
@@ -51,12 +58,15 @@ struct Annotation {
   uint32_t source = 0;
   uint32_t target = 0;
 
-  /// levels[i]: vertex -> states q with BFS distance of (v, q) exactly i.
+  /// levels[i]: sorted vertices with the states q whose product pair
+  /// (v, q) has BFS distance exactly i; contiguous word storage.
   /// Populated for i in [0, lambda] when reachable() is true.
-  std::vector<std::unordered_map<uint32_t, StateSet>> levels;
+  std::vector<LevelSets> levels;
 
-  /// Snapshot of the query, for the Nfa-free downstream stages.
-  std::vector<Nfa::TransitionList> transitions;
+  /// Snapshot of the query, for the Nfa-free downstream stages: the
+  /// precompiled per-(label, state) successor rows (after-side
+  /// epsilon-closure composed in) and the final states.
+  CompiledDelta delta;
   StateSet final_states;
 
   /// Per-state epsilon-closures (each contains the state itself); empty
@@ -65,6 +75,7 @@ struct Annotation {
 
   bool reachable() const { return lambda >= 0; }
   bool has_epsilon() const { return !eps_closure.empty(); }
+  uint32_t words_per_set() const { return (num_states + 63) / 64; }
 
   /// True iff q alone accepts, i.e. reaches a final state by epsilon
   /// moves only (q itself included).
@@ -73,33 +84,26 @@ struct Annotation {
                          : final_states.Test(q);
   }
 
-  /// Calls \p fn for every state reachable from \p q by one *effective*
-  /// labeled step eps* . label . eps*. May repeat a state when distinct
-  /// epsilon-paths converge; callers needing distinctness dedup with a
-  /// scratch StateSet. Used by the naive baseline; the trimmed pipeline
-  /// composes closures once, at TrimmedIndex build time.
-  template <typename Fn>
-  void ForEachEffectiveStep(uint32_t q, uint32_t label, Fn&& fn) const {
-    auto scan = [&](uint32_t q1) {
-      for (const auto& [l, to] : transitions[q1]) {
-        if (l != label) continue;
-        if (has_epsilon())
-          eps_closure[to].ForEach(fn);
-        else
-          fn(to);
-      }
-    };
-    if (has_epsilon())
-      eps_closure[q].ForEach(scan);
-    else
-      scan(q);
+  /// ORs into \p out every state reachable from \p q by one *effective*
+  /// labeled step eps* . label . eps* (out is not cleared; capacity must
+  /// be num_states). Used by the naive baseline; the trimmed pipeline
+  /// reads the delta rows directly.
+  void EffectiveSuccessorsInto(uint32_t q, uint32_t label,
+                               StateSet* out) const {
+    if (!delta.HasLabel(label)) return;
+    uint32_t wps = words_per_set();
+    if (!has_epsilon()) {
+      out->UnionWithWords(delta.SuccessorWords(label, q), wps);
+      return;
+    }
+    eps_closure[q].ForEach([&](uint32_t q1) {
+      out->UnionWithWords(delta.SuccessorWords(label, q1), wps);
+    });
   }
 
-  /// States annotated at (level, v), or nullptr if none.
-  const StateSet* StatesAt(uint32_t level, uint32_t v) const {
-    if (level >= levels.size()) return nullptr;
-    auto it = levels[level].find(v);
-    return it == levels[level].end() ? nullptr : &it->second;
+  /// States annotated at (level, v); null view if none.
+  StateSetView StatesAt(uint32_t level, uint32_t v) const {
+    return level < levels.size() ? levels[level].Find(v) : StateSetView();
   }
 };
 

@@ -6,11 +6,23 @@
 // Vertices and labels are dense uint32_t ids; LabelDictionary maps the
 // human-readable label names used by workloads ("a", "b", "l0", ...) to
 // ids and back.
+//
+// Besides the insertion-ordered OutEdges lists, the database maintains a
+// CSR-style *label-stratified* adjacency (LabelIndex): per vertex, the
+// out-edges grouped by label with an offset index. The annotate/trim hot
+// paths iterate "distinct labels out of v" and then "edges of v with
+// label l", so the per-edge label filtering of the naive adjacency never
+// happens — and the per-(vertex, label) automaton move is computed once
+// and shared across every edge of the group (parallel edges included).
 
 #ifndef DSW_CORE_DATABASE_H_
 #define DSW_CORE_DATABASE_H_
 
+#include <algorithm>
+#include <cassert>
 #include <cstdint>
+#include <functional>
+#include <span>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -24,7 +36,7 @@ class LabelDictionary {
 
   /// Returns the id of \p name, creating it if needed.
   uint32_t Intern(std::string_view name) {
-    auto it = index_.find(std::string(name));
+    auto it = index_.find(name);  // heterogeneous: no temporary string
     if (it != index_.end()) return it->second;
     uint32_t id = static_cast<uint32_t>(names_.size());
     names_.emplace_back(name);
@@ -34,7 +46,7 @@ class LabelDictionary {
 
   /// Returns the id of \p name or kInvalid if unknown.
   uint32_t Find(std::string_view name) const {
-    auto it = index_.find(std::string(name));
+    auto it = index_.find(name);
     return it == index_.end() ? kInvalid : it->second;
   }
 
@@ -42,8 +54,18 @@ class LabelDictionary {
   uint32_t size() const { return static_cast<uint32_t>(names_.size()); }
 
  private:
+  // Transparent hashing: Intern/Find are called with string_views from
+  // the regex front-end's hot loop, and a non-transparent map would
+  // materialize a std::string per lookup.
+  struct Hash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
   std::vector<std::string> names_;
-  std::unordered_map<std::string, uint32_t> index_;
+  std::unordered_map<std::string, uint32_t, Hash, std::equal_to<>> index_;
 };
 
 struct Edge {
@@ -52,10 +74,49 @@ struct Edge {
   uint32_t label;
 };
 
+/// CSR-style label-stratified adjacency. For each vertex the distinct
+/// out-labels appear as Groups (sorted by label id); each group spans a
+/// contiguous range of (edge id, dst) pairs, in insertion order — so
+/// enumeration order stays deterministic and parallel edges sit next to
+/// each other. The destination is denormalized into the pair so the
+/// BFS/trim relax loops stream one array instead of chasing edge ids
+/// into the edge table.
+class LabelIndex {
+ public:
+  struct Group {
+    uint32_t label;
+    uint32_t begin;  // into the target pool, see Targets()
+    uint32_t end;
+  };
+
+  struct Target {
+    uint32_t edge;
+    uint32_t dst;
+  };
+
+  /// Distinct labels out of \p v, one Group per label.
+  std::span<const Group> GroupsOf(uint32_t v) const {
+    return {groups_.data() + group_offsets_[v],
+            groups_.data() + group_offsets_[v + 1]};
+  }
+
+  /// (edge id, dst) pairs of one (vertex, label) group.
+  std::span<const Target> Targets(const Group& g) const {
+    return {targets_.data() + g.begin, targets_.data() + g.end};
+  }
+
+ private:
+  friend class Database;
+  std::vector<uint32_t> group_offsets_;  // vertex -> first group; size V+1
+  std::vector<Group> groups_;
+  std::vector<Target> targets_;  // grouped by (src, label)
+};
+
 class Database {
  public:
   uint32_t AddVertex() {
     out_.emplace_back();
+    index_dirty_ = true;
     return static_cast<uint32_t>(out_.size() - 1);
   }
 
@@ -63,14 +124,18 @@ class Database {
   uint32_t AddVertices(uint32_t n) {
     uint32_t first = num_vertices();
     out_.resize(out_.size() + n);
+    index_dirty_ = true;
     return first;
   }
 
   /// Adds an edge with an already-interned label id; returns the edge id.
   uint32_t AddEdge(uint32_t src, uint32_t label, uint32_t dst) {
+    assert(src < num_vertices() && "AddEdge: src is not a vertex id");
+    assert(dst < num_vertices() && "AddEdge: dst is not a vertex id");
     uint32_t id = static_cast<uint32_t>(edges_.size());
     edges_.push_back(Edge{src, dst, label});
     out_[src].push_back(id);
+    index_dirty_ = true;
     return id;
   }
 
@@ -87,6 +152,18 @@ class Database {
   const Edge& edge(uint32_t id) const { return edges_[id]; }
   const std::vector<uint32_t>& OutEdges(uint32_t v) const { return out_[v]; }
 
+  /// The label-stratified adjacency, rebuilt lazily after mutations.
+  /// The first call after an AddVertex/AddEdge performs the O(|E| log d)
+  /// rebuild and is not thread-safe; call it once (or keep the database
+  /// immutable) before sharing across concurrent queries.
+  const LabelIndex& label_index() const {
+    if (index_dirty_) {
+      BuildLabelIndex();
+      index_dirty_ = false;
+    }
+    return label_index_;
+  }
+
   LabelDictionary& labels() { return labels_; }
   const LabelDictionary& labels() const { return labels_; }
 
@@ -97,9 +174,41 @@ class Database {
   LabelDictionary* mutable_dict() { return &labels_; }
 
  private:
+  void BuildLabelIndex() const {
+    LabelIndex& ix = label_index_;
+    uint32_t v_count = num_vertices();
+    ix.group_offsets_.assign(v_count + 1, 0);
+    ix.groups_.clear();
+    ix.targets_.clear();
+    ix.targets_.reserve(edges_.size());
+    std::vector<uint32_t> buf;
+    for (uint32_t v = 0; v < v_count; ++v) {
+      ix.group_offsets_[v] = static_cast<uint32_t>(ix.groups_.size());
+      buf.assign(out_[v].begin(), out_[v].end());
+      // Stable: edges of one (v, label) group keep insertion order.
+      std::stable_sort(buf.begin(), buf.end(),
+                       [this](uint32_t a, uint32_t b) {
+                         return edges_[a].label < edges_[b].label;
+                       });
+      for (uint32_t id : buf) {
+        uint32_t label = edges_[id].label;
+        if (ix.groups_.size() == ix.group_offsets_[v] ||
+            ix.groups_.back().label != label) {
+          uint32_t pos = static_cast<uint32_t>(ix.targets_.size());
+          ix.groups_.push_back(LabelIndex::Group{label, pos, pos});
+        }
+        ix.targets_.push_back(LabelIndex::Target{id, edges_[id].dst});
+        ++ix.groups_.back().end;
+      }
+    }
+    ix.group_offsets_[v_count] = static_cast<uint32_t>(ix.groups_.size());
+  }
+
   std::vector<Edge> edges_;
   std::vector<std::vector<uint32_t>> out_;  // vertex -> edge ids
   LabelDictionary labels_;
+  mutable LabelIndex label_index_;
+  mutable bool index_dirty_ = true;
 };
 
 }  // namespace dsw

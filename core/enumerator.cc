@@ -8,26 +8,33 @@ TrimmedEnumerator::TrimmedEnumerator(const Database& db,
                                      const Annotation& ann,
                                      const TrimmedIndex& index,
                                      uint32_t source, uint32_t target)
-    : db_(&db), index_(&index), lambda_(ann.lambda) {
+    : index_(&index),
+      delta_(&ann.delta),
+      lambda_(ann.lambda),
+      wps_(index.words_per_set()) {
   // The endpoints are baked into the annotation and index; the
   // parameters exist for symmetry with the rest of the pipeline and a
-  // mismatch is a caller bug, not a valid different query.
+  // mismatch is a caller bug, not a valid different query. The database
+  // itself is no longer consulted: candidate edges denormalize their
+  // destination vertex.
   assert(source == ann.source && target == ann.target);
+  (void)db;
   (void)source;
   (void)target;
   if (!ann.reachable() || index.empty()) return;
-  const StateSet* r0 = index.Useful(0, ann.source);
-  if (r0 == nullptr || r0->None()) return;
+  StateSetView r0 = index.Useful(0, ann.source);
+  if (!r0 || r0.None()) return;
 
   stack_.resize(static_cast<size_t>(lambda_) + 1);
   for (Frame& f : stack_) f.states = StateSet(ann.num_states);
   stack_[0].vertex = ann.source;
-  stack_[0].states = *r0;
+  stack_[0].states.Assign(r0);
   depth_ = 0;
   if (lambda_ == 0) {
     valid_ = true;  // the single empty walk
     return;
   }
+  stack_[0].cand = index.Candidates(0, ann.source);
   FindNext();
 }
 
@@ -45,23 +52,27 @@ void TrimmedEnumerator::FindNext() {
   // complete answers and are returned (and later popped) immediately.
   while (true) {
     Frame& f = stack_[depth_];
-    const auto& cand = index_->Candidates(depth_, f.vertex);
     bool pushed = false;
-    while (f.edge_pos < cand.size()) {
-      const TrimmedIndex::CandidateEdge& ce = cand[f.edge_pos++];
+    while (f.edge_pos < f.cand.size()) {
+      const TrimmedIndex::CandidateEdge& ce = f.cand[f.edge_pos++];
       Frame& next = stack_[depth_ + 1];
+      // Advance the reachable set: OR the delta rows of the prefix's
+      // states, then mask with the destination's useful set. A candidate
+      // can be dead for the *current* prefix (empty result) even though
+      // some other prefix takes it.
       next.states.ZeroAll();
-      bool any = false;
-      for (const auto& [q, to] : ce.moves) {
-        if (!f.states.Test(q)) continue;
-        next.states.Set(to);
-        any = true;
-      }
-      if (!any) continue;  // no run of the prefix takes this edge
-      next.vertex = db_->edge(ce.edge).dst;
+      f.states.ForEach([&](uint32_t q) {
+        next.states.UnionWithWords(delta_->SuccessorWords(ce.label, q),
+                                   wps_);
+      });
+      next.states &= index_->UsefulStates(depth_ + 1, ce.next_pos);
+      if (next.states.None()) continue;  // no run of the prefix fits
+      next.vertex = ce.dst;
       next.edge_pos = 0;
       walk_.edges.push_back(ce.edge);
       ++depth_;
+      if (static_cast<int32_t>(depth_) < lambda_)
+        next.cand = index_->Candidates(depth_, next.vertex);
       pushed = true;
       break;
     }

@@ -4,11 +4,13 @@
 // duplicate blow-up of the naive baseline, E7). The enumerator therefore
 // walks the prefix tree of *edge sequences*, not product paths. Each
 // stack frame holds the set R of useful states reachable by some run of
-// the current prefix; extending by a candidate edge e advances R through
-// e's trimmed moves in O(|A|). By the trimming invariant, R nonempty
-// means the prefix extends to at least one answer, so every interior
-// node of the explored tree leads to output and every answer is emitted
-// exactly once, in depth-first order over candidate-edge lists.
+// the current prefix; extending by a candidate edge e advances R in
+// O(|A|) as a word-parallel OR of the annotation's precompiled delta
+// rows (label of e), masked by the destination's useful set at the next
+// level. By the trimming invariant, R nonempty means the prefix extends
+// to at least one answer, so every interior node of the explored tree
+// leads to output and every answer is emitted exactly once, in
+// depth-first order over candidate-edge lists.
 //
 // All answers have length exactly lambda (shortest-walk semantics), so
 // output order is trivially non-decreasing in length. lambda == 0
@@ -19,6 +21,7 @@
 #define DSW_CORE_ENUMERATOR_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/annotate.h"
@@ -51,13 +54,17 @@ class TrimmedEnumerator {
     uint32_t vertex = 0;
     StateSet states;      // useful states reachable by the prefix
     size_t edge_pos = 0;  // next candidate edge to try at this frame
+    // Candidate edges of (depth, vertex), resolved once when the frame
+    // is entered so revisits skip the index lookup.
+    std::span<const TrimmedIndex::CandidateEdge> cand;
   };
 
   void FindNext();
 
-  const Database* db_;
   const TrimmedIndex* index_;
+  const CompiledDelta* delta_;  // the annotation's query snapshot
   int32_t lambda_;
+  uint32_t wps_ = 0;  // words per state set, cached off the index
   // All lambda + 1 frames are allocated up front and reused in place, so
   // steady-state enumeration performs no heap allocation (the per-output
   // delay must not depend on the allocator). stack_[i] describes the

@@ -123,6 +123,123 @@ class Nfa {
   size_t num_epsilon_transitions_ = 0;
 };
 
+/// Precompiled transition relation: for every (label, state) the set of
+/// states reachable by one *effective* step label . eps* — the
+/// after-side epsilon-closure is composed in at build time, so epsilon
+/// never surfaces downstream. (The before-side closure is deliberately
+/// not composed: annotation levels are closure-saturated, so every
+/// epsilon-mate is scanned in its own right; see core/annotate.h.)
+///
+/// Successor sets live in one contiguous word pool, indexed
+/// [label][state]: the annotate/trim hot paths move a whole frontier set
+/// across a label as a word-parallel OR of delta rows instead of
+/// scanning TransitionLists per edge. Size is O(num_labels x |Q|^2 / 64)
+/// words — built once per Annotate call, amortized over the product BFS.
+class CompiledDelta {
+ public:
+  CompiledDelta() = default;
+
+  explicit CompiledDelta(const Nfa& nfa)
+      : CompiledDelta(nfa, nfa.has_epsilon() ? nfa.EpsilonClosures()
+                                             : std::vector<StateSet>()) {}
+
+  /// As above with the epsilon-closures precomputed — callers that also
+  /// keep the closures (Annotate snapshots them) compute them once and
+  /// share. \p closures must be nfa.EpsilonClosures() or empty for an
+  /// epsilon-free query.
+  CompiledDelta(const Nfa& nfa, const std::vector<StateSet>& closures)
+      : num_states_(nfa.num_states()),
+        words_per_set_(static_cast<uint32_t>((nfa.num_states() + 63) / 64)) {
+    for (uint32_t q = 0; q < num_states_; ++q)
+      for (const auto& [label, to] : nfa.Transitions(q)) {
+        (void)to;
+        if (label + 1 > num_labels_) num_labels_ = label + 1;
+      }
+    words_.assign(static_cast<size_t>(num_labels_) * num_states_ *
+                      words_per_set_,
+                  0);
+    rev_words_.assign(words_.size(), 0);
+    label_used_.assign(num_labels_, 0);
+    sources_.assign(static_cast<size_t>(num_labels_) * words_per_set_, 0);
+
+    for (uint32_t q = 0; q < num_states_; ++q)
+      for (const auto& [label, to] : nfa.Transitions(q)) {
+        label_used_[label] = 1;
+        sources_[static_cast<size_t>(label) * words_per_set_ + (q >> 6)] |=
+            uint64_t{1} << (q & 63);
+        uint64_t* row = MutableRow(words_, label, q);
+        const uint64_t q_bit = uint64_t{1} << (q & 63);
+        if (closures.empty()) {
+          row[to >> 6] |= uint64_t{1} << (to & 63);
+          MutableRow(rev_words_, label, to)[q >> 6] |= q_bit;
+        } else {
+          const uint64_t* cw = closures[to].words();
+          for (uint32_t w = 0; w < words_per_set_; ++w) row[w] |= cw[w];
+          closures[to].ForEach([&](uint32_t t) {
+            MutableRow(rev_words_, label, t)[q >> 6] |= q_bit;
+          });
+        }
+      }
+  }
+
+  uint32_t num_states() const { return num_states_; }
+  uint32_t num_labels() const { return num_labels_; }
+  uint32_t words_per_set() const { return words_per_set_; }
+
+  /// True iff the automaton has any transition on \p label; lets the
+  /// product BFS skip whole (vertex, label) edge groups.
+  bool HasLabel(uint32_t label) const {
+    return label < num_labels_ && label_used_[label] != 0;
+  }
+
+  /// Raw words of delta[label][q]; exactly words_per_set() words.
+  /// Precondition: HasLabel(label) (rows of unused in-range labels are
+  /// valid and empty, out-of-range labels are not addressable).
+  const uint64_t* SuccessorWords(uint32_t label, uint32_t q) const {
+    return &words_[(static_cast<size_t>(label) * num_states_ + q) *
+                   words_per_set_];
+  }
+
+  StateSetView Successors(uint32_t label, uint32_t q) const {
+    return {SuccessorWords(label, q), num_states_};
+  }
+
+  /// Raw words of the reverse relation: the states q with
+  /// t in delta[label][q], i.e. q -label.eps*-> t. The trimmed index's
+  /// backward sweep ORs these rows over a useful set to get "states with
+  /// a surviving move" in one word-parallel pass.
+  const uint64_t* ReverseWords(uint32_t label, uint32_t t) const {
+    return &rev_words_[(static_cast<size_t>(label) * num_states_ + t) *
+                       words_per_set_];
+  }
+
+  StateSetView Predecessors(uint32_t label, uint32_t t) const {
+    return {ReverseWords(label, t), num_states_};
+  }
+
+  /// States with at least one transition on \p label — intersect a
+  /// frontier with this before walking delta rows to skip dead states.
+  StateSetView Sources(uint32_t label) const {
+    return {&sources_[static_cast<size_t>(label) * words_per_set_],
+            num_states_};
+  }
+
+ private:
+  uint64_t* MutableRow(std::vector<uint64_t>& pool, uint32_t label,
+                       uint32_t q) {
+    return &pool[(static_cast<size_t>(label) * num_states_ + q) *
+                 words_per_set_];
+  }
+
+  uint32_t num_states_ = 0;
+  uint32_t num_labels_ = 0;
+  uint32_t words_per_set_ = 0;
+  std::vector<uint64_t> words_;      // [label][state] -> successor set
+  std::vector<uint64_t> rev_words_;  // [label][state] -> predecessor set
+  std::vector<uint64_t> sources_;    // [label] -> states with a transition
+  std::vector<uint8_t> label_used_;
+};
+
 }  // namespace dsw
 
 #endif  // DSW_CORE_NFA_H_

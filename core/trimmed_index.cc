@@ -4,17 +4,19 @@ namespace dsw {
 
 TrimmedIndex::TrimmedIndex(const Database& db, const Annotation& ann) {
   if (!ann.reachable()) return;
-  uint32_t lambda = static_cast<uint32_t>(ann.lambda);
-  useful_.resize(lambda + 1);
-  candidates_.resize(lambda);
+  const uint32_t lambda = static_cast<uint32_t>(ann.lambda);
+  wps_ = ann.words_per_set();
+  useful_.assign(lambda + 1, LevelSets(ann.num_states));
+  cand_ranges_.resize(lambda);
 
   // Level lambda: only (target, final) pairs are useful. Other vertices
   // annotated at this level — even ones carrying final states — end no
   // answer walk.
-  if (const StateSet* at_target = ann.StatesAt(lambda, ann.target)) {
-    StateSet fin = *at_target;
+  if (StateSetView at_target = ann.StatesAt(lambda, ann.target)) {
+    StateSet fin(ann.num_states);
+    fin.Assign(at_target);
     fin &= ann.final_states;
-    if (fin.Any()) useful_[lambda].emplace(ann.target, std::move(fin));
+    if (fin.Any()) useful_[lambda].Append(ann.target, fin.words());
   }
 
   // Backward sweep: q is useful at (v, i) iff some step
@@ -24,47 +26,66 @@ TrimmedIndex::TrimmedIndex(const Database& db, const Annotation& ann) {
   // every epsilon-mate a shortest run can occupy sits on the same level
   // (a smaller BFS distance would splice into a shorter answer), so the
   // mate is scanned in its own right — composing the before-side closure
-  // would only duplicate moves. The after-side closure *is* composed
-  // into the move targets, which is what lets the enumerator advance
-  // reachable-state sets across epsilon-NFAs unchanged.
-  StateSet targets(ann.num_states);  // scratch: dedups move targets per q
+  // would only duplicate moves. The after side is already inside the
+  // delta rows.
+  //
+  // Per edge, the useful sources are computed word-parallel:
+  //   edge_q = (union over q' in useful(i+1, dst) of rev-delta[l][q'])
+  //            AND annotated(v, i)
+  // and shared across parallel edges with the same destination.
+  const LabelIndex& adj = db.label_index();
+  const CompiledDelta& delta = ann.delta;
+  StateSet useful_here(ann.num_states);
+  StateSet edge_q(ann.num_states);
+
   for (uint32_t i = lambda; i-- > 0;) {
-    for (const auto& [v, states] : ann.levels[i]) {
-      StateSet useful_here(ann.num_states);
-      std::vector<CandidateEdge> cand;
-      for (uint32_t e : db.OutEdges(v)) {
-        const Edge& edge = db.edge(e);
-        const StateSet* next_useful = Useful(i + 1, edge.dst);
-        if (next_useful == nullptr) continue;
-        CandidateEdge ce{e, {}};
-        states.ForEach([&](uint32_t q) {
-          targets.ZeroAll();
-          for (const auto& [label, to] : ann.transitions[q]) {
-            if (label != edge.label) continue;
-            if (!ann.has_epsilon()) {
-              if (next_useful->Test(to)) targets.Set(to);
+    const LevelSets& level = ann.levels[i];
+    const LevelSets& next_useful = useful_[i + 1];
+    if (next_useful.empty()) continue;  // nothing below is useful
+    for (size_t vi = 0; vi < level.size(); ++vi) {
+      const uint32_t v = level.vertex(vi);
+      const StateSetView states = level.states(vi);
+      useful_here.ZeroAll();
+      const uint32_t cand_begin = static_cast<uint32_t>(cand_pool_.size());
+      for (const LabelIndex::Group& group : adj.GroupsOf(v)) {
+        if (!delta.HasLabel(group.label)) continue;
+        uint32_t last_dst = UINT32_MAX;
+        uint32_t last_pos = 0;
+        bool last_ok = false;
+        for (const LabelIndex::Target& t : adj.Targets(group)) {
+          if (t.dst != last_dst) {  // parallel edges share the move set
+            last_dst = t.dst;
+            size_t pos = next_useful.FindIndex(t.dst);
+            if (pos == LevelSets::npos) {
+              last_ok = false;
             } else {
-              ann.eps_closure[to].ForEach([&](uint32_t t) {
-                if (next_useful->Test(t)) targets.Set(t);
+              last_pos = static_cast<uint32_t>(pos);
+              edge_q.ZeroAll();
+              next_useful.states(pos).ForEach([&](uint32_t q_next) {
+                edge_q.UnionWithWords(
+                    delta.ReverseWords(group.label, q_next), wps_);
               });
+              edge_q &= states;
+              last_ok = edge_q.Any();
             }
           }
-          targets.ForEach([&](uint32_t to) {
-            ce.moves.emplace_back(q, to);
-            useful_here.Set(q);
-          });
-        });
-        if (!ce.moves.empty()) cand.push_back(std::move(ce));
+          if (!last_ok) continue;
+          cand_pool_.push_back(
+              CandidateEdge{t.edge, t.dst, group.label, last_pos});
+          useful_here |= edge_q;
+        }
       }
       if (useful_here.Any()) {
-        useful_[i].emplace(v, std::move(useful_here));
-        candidates_[i].emplace(v, std::move(cand));
+        useful_[i].Append(v, useful_here.words());
+        cand_ranges_[i].emplace_back(
+            cand_begin, static_cast<uint32_t>(cand_pool_.size()));
       }
     }
   }
 
-  for (const auto& level : useful_)
-    for (const auto& [v, states] : level) num_slots_ += states.Count();
+  for (const LevelSets& level : useful_)
+    for (size_t i = 0; i < level.size(); ++i)
+      num_slots_ += level.states(i).Count();
 }
 
 }  // namespace dsw

@@ -6,37 +6,51 @@
 //
 //  - useful(i, v): the useful states of v at level i, and
 //  - candidate edges: for each v at level i < lambda, the data edges e
-//    out of v that appear in at least one answer at position i, together
-//    with their "moves" — the trimmed product transitions (q, q')
-//    carried by e. Moves are what lets the enumerator advance a
-//    reachable-state set across an edge in O(|A|) without touching the
-//    Nfa (whose lifetime it does not control).
+//    out of v that appear in at least one answer at position i, each
+//    carrying its label and the position of its destination's useful
+//    set at level i + 1. The enumerator advances a reachable-state set
+//    across a candidate edge by ORing the annotation's precompiled
+//    delta rows and masking with that useful set — O(|A|) per edge with
+//    no per-edge move storage, and no reference back to the Nfa (whose
+//    lifetime it does not control; the Annotation snapshot carries the
+//    delta).
 //
-// Construction is one backward sweep over the annotation:
-// O(|D| x |A|). Total size is bounded by the number of trimmed product
-// transitions, again O(|D| x |A|).
+// Construction is one backward sweep over the annotation, on the same
+// label-stratified structures as the forward BFS: the CSR LabelIndex
+// supplies the per-(vertex, label) edge groups, and the states with a
+// surviving move across an edge are computed word-parallel as
+// (union over useful q' of rev-delta[l][q']) AND annotated(v, i) — one
+// OR per useful next state plus one AND, shared across parallel edges
+// with the same destination, instead of nested per-transition lambda
+// scans. All useful sets live in contiguous word pools (LevelSets);
+// total cost and size stay O(|D| x |A|).
 
 #ifndef DSW_CORE_TRIMMED_INDEX_H_
 #define DSW_CORE_TRIMMED_INDEX_H_
 
 #include <cstdint>
-#include <unordered_map>
+#include <span>
 #include <utility>
 #include <vector>
 
 #include "core/annotate.h"
 #include "core/database.h"
+#include "core/level_sets.h"
 #include "util/state_set.h"
 
 namespace dsw {
 
 class TrimmedIndex {
  public:
+  /// A data edge appearing in >= 1 answer at its level. dst and label
+  /// denormalize the edge record; next_pos is the position of dst's
+  /// useful set in level + 1 (see UsefulStates), resolved at build time
+  /// so the enumerator's hot loop does no lookups at all.
   struct CandidateEdge {
     uint32_t edge;
-    /// Trimmed product transitions carried by this edge: q useful at the
-    /// source level, q' useful at the next level, q -label(edge)-> q'.
-    std::vector<std::pair<uint32_t, uint32_t>> moves;
+    uint32_t dst;
+    uint32_t label;
+    uint32_t next_pos;
   };
 
   TrimmedIndex(const Database& db, const Annotation& ann);
@@ -44,28 +58,37 @@ class TrimmedIndex {
   /// Number of useful (v, q, level) triples; 0 iff no answer exists.
   size_t num_slots() const { return num_slots_; }
   bool empty() const { return num_slots_ == 0; }
+  uint32_t words_per_set() const { return wps_; }
 
-  /// Useful states at (level, v), or nullptr if none.
-  const StateSet* Useful(uint32_t level, uint32_t v) const {
-    if (level >= useful_.size()) return nullptr;
-    auto it = useful_[level].find(v);
-    return it == useful_[level].end() ? nullptr : &it->second;
+  /// Useful states at (level, v); null view if none.
+  StateSetView Useful(uint32_t level, uint32_t v) const {
+    return level < useful_.size() ? useful_[level].Find(v) : StateSetView();
+  }
+
+  /// Useful states at a (level, position) slot — the O(1) variant for
+  /// positions recorded in CandidateEdge::next_pos.
+  StateSetView UsefulStates(uint32_t level, uint32_t pos) const {
+    return useful_[level].states(pos);
   }
 
   /// Candidate edges out of \p v at \p level (level < lambda). Empty for
   /// vertices with no useful states.
-  const std::vector<CandidateEdge>& Candidates(uint32_t level,
-                                               uint32_t v) const {
-    static const std::vector<CandidateEdge> kNone;
-    if (level >= candidates_.size()) return kNone;
-    auto it = candidates_[level].find(v);
-    return it == candidates_[level].end() ? kNone : it->second;
+  std::span<const CandidateEdge> Candidates(uint32_t level,
+                                            uint32_t v) const {
+    if (level >= cand_ranges_.size()) return {};
+    size_t i = useful_[level].FindIndex(v);
+    if (i == LevelSets::npos) return {};
+    const auto& [begin, end] = cand_ranges_[level][i];
+    return {cand_pool_.data() + begin, cand_pool_.data() + end};
   }
 
  private:
-  std::vector<std::unordered_map<uint32_t, StateSet>> useful_;
-  std::vector<std::unordered_map<uint32_t, std::vector<CandidateEdge>>>
-      candidates_;
+  uint32_t wps_ = 0;
+  std::vector<LevelSets> useful_;  // per level, sorted vertices
+  // Per level, parallel to useful_[level]'s vertices: the vertex's
+  // [begin, end) range in cand_pool_. (Level lambda has no candidates.)
+  std::vector<std::vector<std::pair<uint32_t, uint32_t>>> cand_ranges_;
+  std::vector<CandidateEdge> cand_pool_;
   size_t num_slots_ = 0;
 };
 

@@ -87,7 +87,7 @@ TEST_F(Figure1Test, TrimmingRemovesTheDeadEndVertex) {
   // carl is reachable in the product at level 1 but on no shortest
   // answer, so no level may keep it.
   for (uint32_t level = 0; level <= Figure1::kLambda; ++level)
-    EXPECT_EQ(index_.Useful(level, fig_.carl), nullptr) << "level " << level;
+    EXPECT_FALSE(index_.Useful(level, fig_.carl)) << "level " << level;
   EXPECT_GT(index_.num_slots(), 0u);
 }
 

@@ -1,0 +1,138 @@
+// Unit tests for the StateSet word-level API the label-stratified hot
+// paths lean on: UnionWith's changed-flag, IntersectInto, raw word
+// access, views over external word pools, and the Resize growth-path
+// regression (stale tail bits must never come back into range).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "util/state_set.h"
+
+namespace dsw {
+namespace {
+
+TEST(StateSetTest, UnionWithReportsChange) {
+  StateSet a(100), b(100);
+  b.Set(3);
+  b.Set(70);
+  EXPECT_TRUE(a.UnionWith(b));   // both bits are new
+  EXPECT_FALSE(a.UnionWith(b));  // second union is a no-op
+  EXPECT_TRUE(a.Test(3));
+  EXPECT_TRUE(a.Test(70));
+  EXPECT_EQ(a.Count(), 2u);
+
+  b.Set(99);
+  EXPECT_TRUE(a.UnionWith(b));  // one new bit among old ones
+  EXPECT_EQ(a.Count(), 3u);
+}
+
+TEST(StateSetTest, UnionWithGrowsCapacity) {
+  StateSet small(10), big(200);
+  big.Set(150);
+  EXPECT_TRUE(small.UnionWith(big));
+  EXPECT_GE(small.capacity(), 200u);
+  EXPECT_TRUE(small.Test(150));
+}
+
+TEST(StateSetTest, UnionWithWordsChangedFlag) {
+  StateSet a(128);
+  uint64_t words[2] = {0b1010, 0};
+  EXPECT_TRUE(a.UnionWithWords(words, 2));
+  EXPECT_FALSE(a.UnionWithWords(words, 2));
+  EXPECT_TRUE(a.Test(1));
+  EXPECT_TRUE(a.Test(3));
+}
+
+TEST(StateSetTest, IntersectInto) {
+  StateSet a(130), b(130), out;
+  a.Set(1);
+  a.Set(64);
+  a.Set(129);
+  b.Set(64);
+  b.Set(129);
+  b.Set(2);
+  a.IntersectInto(b, &out);
+  EXPECT_EQ(out.capacity(), 130u);
+  EXPECT_EQ(out.Count(), 2u);
+  EXPECT_TRUE(out.Test(64));
+  EXPECT_TRUE(out.Test(129));
+
+  // Reusing a dirty output must fully overwrite it.
+  StateSet c(130);
+  c.Set(5);
+  a.IntersectInto(c, &out);
+  EXPECT_TRUE(out.None());
+}
+
+TEST(StateSetTest, ResizeShrinkClearsStaleBits) {
+  StateSet s(100);
+  s.Set(70);
+  s.Set(99);
+  s.Resize(65);
+  EXPECT_EQ(s.Count(), 0u);
+  s.Resize(100);
+  EXPECT_FALSE(s.Test(70));
+  EXPECT_FALSE(s.Test(99));
+}
+
+TEST(StateSetTest, ResizeGrowthClearsDirtyTailWords) {
+  // Regression: raw word writers can leave bits above capacity() in the
+  // last word (e.g. ORing a 64-bit row into a 40-bit set). Growing must
+  // not bring that dirt into range.
+  StateSet s(40);
+  s.mutable_words()[0] |= uint64_t{1} << 45;  // out-of-range dirt
+  s.Resize(64);
+  EXPECT_FALSE(s.Test(45)) << "stale tail bit resurfaced on grow";
+  EXPECT_EQ(s.Count(), 0u);
+}
+
+TEST(StateSetTest, ViewOverExternalWords) {
+  std::vector<uint64_t> pool = {0b101, uint64_t{1} << 5};
+  StateSetView view(pool.data(), 128);
+  EXPECT_TRUE(view);
+  EXPECT_TRUE(view.Test(0));
+  EXPECT_TRUE(view.Test(2));
+  EXPECT_TRUE(view.Test(69));
+  EXPECT_EQ(view.Count(), 3u);
+
+  std::vector<uint32_t> bits;
+  view.ForEach([&](uint32_t i) { bits.push_back(i); });
+  EXPECT_EQ(bits, (std::vector<uint32_t>{0, 2, 69}));
+
+  StateSet other(128);
+  other.Set(69);
+  EXPECT_TRUE(view.Intersects(other));
+  other.Clear(69);
+  EXPECT_FALSE(view.Intersects(other));
+
+  EXPECT_FALSE(StateSetView()) << "null view must test false";
+}
+
+TEST(StateSetTest, AssignFromView) {
+  std::vector<uint64_t> pool = {0b11, 0};
+  StateSetView view(pool.data(), 80);
+  StateSet s;
+  s.Assign(view);
+  EXPECT_EQ(s.capacity(), 80u);
+  EXPECT_EQ(s.Count(), 2u);
+  EXPECT_TRUE(s.Test(0));
+  EXPECT_TRUE(s.Test(1));
+}
+
+TEST(StateSetTest, ForEachAndVisitsOnlyTheIntersection) {
+  StateSet a(200), mask(200);
+  a.Set(1);
+  a.Set(100);
+  a.Set(199);
+  mask.Set(100);
+  mask.Set(199);
+  mask.Set(7);
+  std::vector<uint32_t> bits;
+  ForEachAnd(a, mask, [&](uint32_t i) { bits.push_back(i); });
+  EXPECT_EQ(bits, (std::vector<uint32_t>{100, 199}));
+}
+
+}  // namespace
+}  // namespace dsw

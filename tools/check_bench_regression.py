@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Threshold guard for the perf-smoke CI job.
+
+Compares a fresh google-benchmark JSON run against the committed
+baseline (BENCH_preprocessing.json) and fails when preprocessing
+throughput regressed by more than the threshold factor.
+
+Two checks run, and either fails the job:
+
+1. Raw geomean of per-benchmark cpu_time ratios (new / baseline)
+   > THRESHOLD. This is the absolute >2x guard the acceptance criterion
+   asks for. Caveat: the baseline was recorded on one machine and CI
+   runners differ, so a uniformly slower runner shifts this metric
+   one-for-one; if a runner generation change ever trips it with flat
+   *normalized* ratios (check the log), refresh the committed baseline
+   from the job's uploaded artifact or bump DSW_BENCH_THRESHOLD.
+2. Worst *normalized* ratio (each benchmark's ratio divided by the
+   suite's median ratio) > THRESHOLD. Dividing out the median cancels
+   any uniform machine-speed delta, so this catches a localized
+   hot-path regression even on a runner much faster or slower than the
+   baseline machine — and distinguishes "the runner is slow" (raw
+   geomean high, normalized flat) from "one code path regressed"
+   (normalized spike) at a glance.
+
+Usage: check_bench_regression.py BASELINE.json CURRENT.json [THRESHOLD]
+THRESHOLD defaults to 2.0, overridable via argv or DSW_BENCH_THRESHOLD.
+"""
+
+import json
+import math
+import os
+import sys
+
+
+def load_times(path):
+    with open(path) as f:
+        data = json.load(f)
+    times = {}
+    for bench in data.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        cpu = float(bench["cpu_time"])
+        if math.isfinite(cpu) and cpu > 0:  # 0-iteration runs are garbage
+            times[bench["name"]] = cpu
+    return times
+
+
+def median(values):
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+def main(argv):
+    if len(argv) < 3:
+        print(__doc__)
+        return 2
+    baseline = load_times(argv[1])
+    current = load_times(argv[2])
+    threshold = float(
+        argv[3] if len(argv) > 3 else os.environ.get("DSW_BENCH_THRESHOLD", "2.0")
+    )
+
+    common = sorted(set(baseline) & set(current))
+    if not common:
+        print("error: no common benchmarks between baseline and current run")
+        return 1
+    missing = sorted(set(baseline) - set(current))
+    if missing:
+        print(f"warning: {len(missing)} baseline benchmarks missing from run:")
+        for name in missing:
+            print(f"  {name}")
+
+    ratios = {name: current[name] / baseline[name] for name in common}
+    med = median(ratios.values())
+    geomean = math.exp(sum(math.log(r) for r in ratios.values()) / len(common))
+
+    print(f"{'benchmark':<44} {'baseline':>12} {'current':>12} "
+          f"{'ratio':>7} {'norm':>6}")
+    worst_norm = (0.0, "")
+    for name in common:
+        norm = ratios[name] / med
+        worst_norm = max(worst_norm, (norm, name))
+        print(f"{name:<44} {baseline[name]:>10.0f}ns {current[name]:>10.0f}ns "
+              f"{ratios[name]:>6.2f}x {norm:>5.2f}x")
+    print(f"\ngeomean ratio: {geomean:.2f}x, median {med:.2f}x over "
+          f"{len(common)} benchmarks (threshold {threshold:.2f}x); "
+          f"worst normalized: {worst_norm[1]} at {worst_norm[0]:.2f}x")
+
+    failed = False
+    if geomean > threshold:
+        print("FAIL: raw geomean past the threshold "
+              "(if normalized ratios are flat, the runner is uniformly "
+              "slower than the baseline machine — see the docstring)")
+        failed = True
+    if worst_norm[0] > threshold:
+        print(f"FAIL: {worst_norm[1]} regressed {worst_norm[0]:.2f}x "
+              f"relative to the rest of the suite")
+        failed = True
+    if failed:
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
