@@ -30,6 +30,12 @@
 
 namespace dsw {
 
+// Dense id aliases. Purely documentary (everything is uint32_t), but
+// the bench/test code reads better when a variable says which id space
+// it lives in.
+using VertexId = uint32_t;
+using EdgeId = uint32_t;
+
 class LabelDictionary {
  public:
   static constexpr uint32_t kInvalid = UINT32_MAX;
@@ -105,11 +111,18 @@ class LabelIndex {
     return {targets_.data() + g.begin, targets_.data() + g.end};
   }
 
+  /// Position of \p edge in the target pool — its rank in the global
+  /// (src, label, insertion) order. Within one vertex this is exactly
+  /// the order the trimmed enumerator tries candidate edges in, which
+  /// makes it the sort/seek key of the resumable candidate queues.
+  uint32_t PositionOf(uint32_t edge) const { return edge_pos_[edge]; }
+
  private:
   friend class Database;
   std::vector<uint32_t> group_offsets_;  // vertex -> first group; size V+1
   std::vector<Group> groups_;
   std::vector<Target> targets_;  // grouped by (src, label)
+  std::vector<uint32_t> edge_pos_;  // edge id -> position in targets_
 };
 
 class Database {
@@ -150,6 +163,15 @@ class Database {
   size_t size() const { return num_vertices() + num_edges(); }
 
   const Edge& edge(uint32_t id) const { return edges_[id]; }
+  uint32_t src(uint32_t id) const { return edges_[id].src; }
+  uint32_t dst(uint32_t id) const { return edges_[id].dst; }
+  /// Rank of edge \p id in the label-stratified target pool (the
+  /// (src, label, insertion) order; see LabelIndex::PositionOf) — the
+  /// candidate-queue seek key of the memoryless pipeline. Triggers the
+  /// lazy index rebuild like label_index().
+  uint32_t tgt_idx(uint32_t id) const {
+    return label_index().PositionOf(id);
+  }
   const std::vector<uint32_t>& OutEdges(uint32_t v) const { return out_[v]; }
 
   /// The label-stratified adjacency, rebuilt lazily after mutations.
@@ -181,6 +203,7 @@ class Database {
     ix.groups_.clear();
     ix.targets_.clear();
     ix.targets_.reserve(edges_.size());
+    ix.edge_pos_.assign(edges_.size(), 0);
     std::vector<uint32_t> buf;
     for (uint32_t v = 0; v < v_count; ++v) {
       ix.group_offsets_[v] = static_cast<uint32_t>(ix.groups_.size());
@@ -197,6 +220,7 @@ class Database {
           uint32_t pos = static_cast<uint32_t>(ix.targets_.size());
           ix.groups_.push_back(LabelIndex::Group{label, pos, pos});
         }
+        ix.edge_pos_[id] = static_cast<uint32_t>(ix.targets_.size());
         ix.targets_.push_back(LabelIndex::Target{id, edges_[id].dst});
         ++ix.groups_.back().end;
       }

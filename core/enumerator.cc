@@ -60,13 +60,10 @@ void TrimmedEnumerator::FindNext() {
       // states, then mask with the destination's useful set. A candidate
       // can be dead for the *current* prefix (empty result) even though
       // some other prefix takes it.
-      next.states.ZeroAll();
-      f.states.ForEach([&](uint32_t q) {
-        next.states.UnionWithWords(delta_->SuccessorWords(ce.label, q),
-                                   wps_);
-      });
-      next.states &= index_->UsefulStates(depth_ + 1, ce.next_pos);
-      if (next.states.None()) continue;  // no run of the prefix fits
+      if (!enumerator_detail::AdvanceStates(
+              *delta_, wps_, f.states, ce.label,
+              index_->UsefulStates(depth_ + 1, ce.next_pos), &next.states))
+        continue;  // no run of the prefix fits
       next.vertex = ce.dst;
       next.edge_pos = 0;
       walk_.edges.push_back(ce.edge);

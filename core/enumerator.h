@@ -32,6 +32,34 @@
 
 namespace dsw {
 
+namespace enumerator_detail {
+
+/// One enumeration step of the reachable-run set, shared by the stateful
+/// and the memoryless enumerator: out = (union over q in from of
+/// delta[label][q]) AND useful_next. Returns whether any run of the
+/// extended prefix survives — false means the candidate edge is dead for
+/// this prefix. \p out must have capacity >= the delta's state count;
+/// \p wps is the word count of one set. When \p row_ors is non-null it
+/// is incremented by the number of delta-row ORs performed (the
+/// ResumableEnumerator's op accounting; the count falls out of the
+/// ForEach for free, no extra set scan).
+inline bool AdvanceStates(const CompiledDelta& delta, uint32_t wps,
+                          const StateSet& from, uint32_t label,
+                          StateSetView useful_next, StateSet* out,
+                          uint64_t* row_ors = nullptr) {
+  out->ZeroAll();
+  uint64_t rows = 0;
+  from.ForEach([&](uint32_t q) {
+    ++rows;
+    out->UnionWithWords(delta.SuccessorWords(label, q), wps);
+  });
+  if (row_ors) *row_ors += rows;
+  *out &= useful_next;
+  return out->Any();
+}
+
+}  // namespace enumerator_detail
+
 class TrimmedEnumerator {
  public:
   /// The annotation and index must outlive the enumerator; \p source and

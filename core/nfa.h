@@ -18,6 +18,9 @@
 
 namespace dsw {
 
+// Dense automaton-state id; documentary, like VertexId/EdgeId.
+using StateId = uint32_t;
+
 class Nfa {
  public:
   // (label, target) pairs; per-state fan-out is small, linear scans are

@@ -1,0 +1,153 @@
+#include "core/resumable_enumerator.h"
+
+#include <cassert>
+
+#include "core/enumerator.h"  // enumerator_detail::AdvanceStates
+
+namespace dsw {
+
+ResumableEnumerator::ResumableEnumerator(const Database& db,
+                                         const Annotation& ann,
+                                         const ResumableIndex& index,
+                                         uint32_t source, uint32_t target)
+    : index_(&index),
+      delta_(&ann.delta),
+      lambda_(ann.lambda),
+      wps_(ann.words_per_set()),
+      source_(source) {
+  // As with TrimmedEnumerator: the endpoints are baked into the
+  // annotation; a mismatch is a caller bug. The database is not
+  // consulted — the index denormalizes everything.
+  assert(source == ann.source && target == ann.target);
+  (void)db;
+  (void)target;
+  if (!ann.reachable() || index.empty()) return;
+  StateSetView r0 = index.trimmed().Useful(0, ann.source);
+  if (!r0 || r0.None()) return;
+  r0_.Assign(r0);
+  has_answers_ = true;
+
+  stack_.resize(static_cast<size_t>(lambda_) + 1);
+  for (Frame& f : stack_) f.states = StateSet(ann.num_states);
+  stack_[0].vertex = source_;
+  stack_[0].states.Assign(r0_);
+  depth_ = 0;
+  if (lambda_ == 0) {
+    valid_ = true;  // the single empty walk
+    return;
+  }
+  uint32_t slot = index_->SlotAt(0, source_);
+  assert(slot != kNoSlot && "answers exist but source has no queue");
+  stack_[0].cur = index_->RestartCursor(slot);
+  stack_[0].end = index_->EndCursor(slot);
+  FindNext();
+}
+
+void ResumableEnumerator::Next() {
+  if (!valid_) return;
+  valid_ = false;
+  if (depth_ == 0) return;  // lambda == 0: the empty walk was the answer
+  --depth_;                 // leave the complete answer
+  walk_.edges.pop_back();
+  FindNext();
+}
+
+void ResumableEnumerator::FindNext() {
+  // Mirrors TrimmedEnumerator::FindNext over the index's queues; the
+  // only structural difference is that frames hold (cur, end) cursor
+  // pairs into the shared candidate pool instead of spans, so a frame
+  // rebuilt by SeekAfter is indistinguishable from one the DFS left
+  // behind.
+  while (true) {
+    Frame& f = stack_[depth_];
+    bool pushed = false;
+    while (f.cur < f.end) {
+      const ResumableIndex::Candidate& ce = index_->At(f.cur++);
+      ++stats_.cells;
+      Frame& next = stack_[depth_ + 1];
+      if (!enumerator_detail::AdvanceStates(
+              *delta_, wps_, f.states, ce.label,
+              index_->trimmed().UsefulStates(depth_ + 1, ce.next_pos),
+              &next.states, &stats_.row_ors))
+        continue;  // no run of the prefix fits
+      next.vertex = ce.dst;
+      walk_.edges.push_back(ce.edge);
+      ++depth_;
+      if (static_cast<int32_t>(depth_) < lambda_) {
+        uint32_t slot = index_->SlotAt(depth_, ce.dst);
+        // ce.dst is useful at depth_ (< lambda), so its queue exists.
+        next.cur = index_->RestartCursor(slot);
+        next.end = index_->EndCursor(slot);
+      }
+      pushed = true;
+      break;
+    }
+    if (pushed) {
+      if (static_cast<int32_t>(depth_) == lambda_) {
+        valid_ = true;
+        return;
+      }
+      continue;
+    }
+    if (depth_ == 0) return;  // root exhausted: enumeration done
+    --depth_;
+    walk_.edges.pop_back();
+  }
+}
+
+bool ResumableEnumerator::RejectSeek() {
+  assert(false && "SeekAfter: the given walk is not an answer");
+  valid_ = false;
+  return false;
+}
+
+bool ResumableEnumerator::SeekAfter(const Walk& prev) {
+  valid_ = false;
+  if (!has_answers_) return RejectSeek();
+  if (prev.edges.size() != static_cast<size_t>(lambda_))
+    return RejectSeek();
+  if (lambda_ == 0) {
+    // The empty walk is the unique answer and has no successor.
+    depth_ = 0;
+    walk_.edges.clear();
+    return true;
+  }
+
+  // Guided run (Theorem 18): re-derive the reachable-run sets R level
+  // by level from prev's edges alone and point every level's cursor
+  // just past prev's edge. O(lambda x |A|) total — the SeekGe calls are
+  // O(1) each, so no in-degree factor anywhere.
+  walk_.edges.assign(prev.edges.begin(), prev.edges.end());
+  stack_[0].vertex = source_;
+  stack_[0].states.Assign(r0_);
+  for (uint32_t i = 0; i < static_cast<uint32_t>(lambda_); ++i) {
+    Frame& f = stack_[i];
+    uint32_t slot = index_->SlotAt(i, f.vertex);
+    if (slot == kNoSlot) return RejectSeek();  // unreachable by invariant
+    uint32_t e = walk_.edges[i];
+    ++stats_.seeks;
+    if (!index_->SpanContains(slot, e)) return RejectSeek();
+    uint32_t cur = index_->SeekGe(slot, e);
+    if (index_->Exhausted(slot, cur) || index_->At(cur).edge != e)
+      return RejectSeek();  // e survived no answer at this level
+    const ResumableIndex::Candidate& ce = index_->At(cur);
+    Frame& next = stack_[i + 1];
+    if (!enumerator_detail::AdvanceStates(
+            *delta_, wps_, f.states, ce.label,
+            index_->trimmed().UsefulStates(i + 1, ce.next_pos),
+            &next.states, &stats_.row_ors))
+      return RejectSeek();  // no accepting run threads through prev
+    next.vertex = ce.dst;
+    f.cur = cur + 1;  // resume strictly after prev's choice
+    f.end = index_->EndCursor(slot);
+  }
+
+  // The stack is now exactly what the stateful DFS holds when emitting
+  // prev; one ordinary Next() yields the successor (or the clean end).
+  depth_ = static_cast<uint32_t>(lambda_);
+  valid_ = true;
+  Next();
+  return true;
+}
+
+}  // namespace dsw

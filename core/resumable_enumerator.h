@@ -1,0 +1,108 @@
+// The memoryless enumerator (Theorem 18). Valid/Next/walk behave
+// exactly like TrimmedEnumerator — same answers, same order, same
+// O(lambda x |A|) step — and SeekAfter(w) adds the memoryless entry
+// point: given any answer w (and *only* w; no retained enumeration
+// state is consulted), reposition onto w and advance to the
+// lexicographically next answer.
+//
+// SeekAfter is a guided run over w's edges: starting from R_0 =
+// useful(0, source), each level's reachable-run set R_{i+1} is
+// re-derived with the same word-parallel delta-row OR the stateful
+// enumerator uses, and each level's queue cursor is repositioned with
+// the index's O(1) SeekGe — total O(lambda x |A|), independent of the
+// in-degrees along w (the linear-reseek strawman of bench_memoryless
+// pays an extra factor d there). After the guided run the stack is
+// bit-for-bit the state the stateful enumerator would have had when
+// emitting w, so one ordinary Next() lands on the successor.
+//
+// Contract for walks that are NOT answers (wrong length, an edge that
+// is no candidate at its level, a prefix whose reachable-run set dies):
+// debug builds assert (see the death tests in resumable_test); release
+// builds reject gracefully — SeekAfter returns false and the enumerator
+// invalidates. SeekAfter returns true iff w was accepted as an answer;
+// Valid() afterwards says whether a successor exists (false when w was
+// the last answer). walk() is only meaningful while Valid().
+
+#ifndef DSW_CORE_RESUMABLE_ENUMERATOR_H_
+#define DSW_CORE_RESUMABLE_ENUMERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/annotate.h"
+#include "core/database.h"
+#include "core/resumable_index.h"
+#include "core/walk.h"
+#include "util/state_set.h"
+
+namespace dsw {
+
+class ResumableEnumerator {
+ public:
+  /// Operation counts of the work SeekAfter/Next actually perform —
+  /// the CI-stable proxy for the Theorem 18 delay bound (wall clock is
+  /// too noisy to assert on). Binary-search slot lookups and other
+  /// index arithmetic are O(log) / O(1) and not counted.
+  struct OpStats {
+    uint64_t seeks = 0;    // SeekGe repositionings (one per level)
+    uint64_t cells = 0;    // queue entries examined by Next/FindNext
+    uint64_t row_ors = 0;  // delta-row ORs (state-set advances)
+    uint64_t total() const { return seeks + cells + row_ors; }
+  };
+
+  /// The annotation and index must outlive the enumerator; \p source
+  /// and \p target must match the annotation's. Positions on the first
+  /// answer, like TrimmedEnumerator.
+  ResumableEnumerator(const Database& db, const Annotation& ann,
+                      const ResumableIndex& index, uint32_t source,
+                      uint32_t target);
+
+  /// True while positioned on an answer.
+  bool Valid() const { return valid_; }
+
+  /// Advances to the next answer, or invalidates the enumerator.
+  void Next();
+
+  /// The current answer; only meaningful while Valid().
+  const Walk& walk() const { return walk_; }
+
+  /// Memoryless reposition: accepts the answer \p prev and advances to
+  /// the answer after it (Valid() false when prev was last). Returns
+  /// false — invalidating the enumerator — when prev is not an answer;
+  /// debug builds assert instead. Works regardless of the enumerator's
+  /// current position, including after it invalidated.
+  bool SeekAfter(const Walk& prev);
+
+  const OpStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = OpStats(); }
+
+ private:
+  struct Frame {
+    uint32_t vertex = 0;
+    StateSet states;   // reachable-run set R of the prefix
+    uint32_t cur = 0;  // next queue entry to try (candidate-pool index)
+    uint32_t end = 0;  // the frame's queue end
+  };
+
+  bool RejectSeek();
+  void FindNext();
+
+  const ResumableIndex* index_;
+  const CompiledDelta* delta_;
+  int32_t lambda_;
+  uint32_t wps_ = 0;
+  uint32_t source_ = 0;
+  StateSet r0_;  // useful(0, source), the root of every (re)run
+  bool has_answers_ = false;
+  // Frames allocated once, reused in place (no steady-state heap
+  // traffic); stack_[i] is the position after i edges.
+  std::vector<Frame> stack_;
+  uint32_t depth_ = 0;
+  Walk walk_;
+  bool valid_ = false;
+  OpStats stats_;
+};
+
+}  // namespace dsw
+
+#endif  // DSW_CORE_RESUMABLE_ENUMERATOR_H_

@@ -71,6 +71,23 @@ class TrimmedIndex {
     return useful_[level].states(pos);
   }
 
+  /// Number of useful levels (lambda + 1 when an answer exists, else 0).
+  uint32_t num_levels() const { return static_cast<uint32_t>(useful_.size()); }
+
+  /// The whole useful level — sorted vertices with their state sets.
+  /// ResumableIndex walks these to lay out its per-(level, vertex)
+  /// candidate queues without re-running the backward sweep.
+  const LevelSets& UsefulLevel(uint32_t level) const { return useful_[level]; }
+
+  /// Candidates of the vertex at position \p pos of useful level
+  /// \p level (level < lambda) — the O(1) positional variant of
+  /// Candidates() for callers already iterating UsefulLevel(level).
+  std::span<const CandidateEdge> CandidatesAt(uint32_t level,
+                                              size_t pos) const {
+    const auto& [begin, end] = cand_ranges_[level][pos];
+    return {cand_pool_.data() + begin, cand_pool_.data() + end};
+  }
+
   /// Candidate edges out of \p v at \p level (level < lambda). Empty for
   /// vertices with no useful states.
   std::span<const CandidateEdge> Candidates(uint32_t level,
