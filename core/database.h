@@ -130,6 +130,7 @@ class Database {
   uint32_t AddVertex() {
     out_.emplace_back();
     index_dirty_ = true;
+    ++generation_;
     return static_cast<uint32_t>(out_.size() - 1);
   }
 
@@ -138,6 +139,7 @@ class Database {
     uint32_t first = num_vertices();
     out_.resize(out_.size() + n);
     index_dirty_ = true;
+    ++generation_;
     return first;
   }
 
@@ -149,6 +151,7 @@ class Database {
     edges_.push_back(Edge{src, dst, label});
     out_[src].push_back(id);
     index_dirty_ = true;
+    ++generation_;
     return id;
   }
 
@@ -156,6 +159,16 @@ class Database {
   uint32_t AddEdge(uint32_t src, std::string_view label, uint32_t dst) {
     return AddEdge(src, labels_.Intern(label), dst);
   }
+
+  /// Monotonic mutation counter: bumped by every AddVertex/AddVertices/
+  /// AddEdge (label interning does not count — it never perturbs the
+  /// adjacency). The snapshot-style index structures (TrimmedIndex,
+  /// ResumableIndex) record it at build time and debug-assert it in
+  /// their accessors: a mutation after label_index()/tgt_idx() silently
+  /// invalidates the spans, positions and rank arrays they hold, and the
+  /// generation check turns that latent use-after-mutate into a loud
+  /// assertion instead of wrong answers.
+  uint64_t generation() const { return generation_; }
 
   uint32_t num_vertices() const { return static_cast<uint32_t>(out_.size()); }
   size_t num_edges() const { return edges_.size(); }
@@ -233,6 +246,7 @@ class Database {
   LabelDictionary labels_;
   mutable LabelIndex label_index_;
   mutable bool index_dirty_ = true;
+  uint64_t generation_ = 0;
 };
 
 }  // namespace dsw

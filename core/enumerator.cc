@@ -34,7 +34,9 @@ TrimmedEnumerator::TrimmedEnumerator(const Database& db,
     valid_ = true;  // the single empty walk
     return;
   }
-  stack_[0].cand = index.Candidates(0, ann.source);
+  size_t pos0 = index.UsefulLevel(0).FindIndex(ann.source);
+  stack_[0].cand = index.CandidatesAt(0, pos0);
+  stack_[0].blist = index.BListAt(0, pos0);
   FindNext();
 }
 
@@ -50,34 +52,36 @@ void TrimmedEnumerator::Next() {
 void TrimmedEnumerator::FindNext() {
   // Invariant: depth_ < lambda on entry. Depth-lambda frames are
   // complete answers and are returned (and later popped) immediately.
+  //
+  // The certificate structure guarantees every candidate NextLive hands
+  // back is live for the frame's reachable set, so AdvanceStates below
+  // cannot fail and the loop does at most lambda pops + lambda pushes
+  // between outputs — the Theorem 2 delay.
   while (true) {
     Frame& f = stack_[depth_];
-    bool pushed = false;
-    while (f.edge_pos < f.cand.size()) {
-      const TrimmedIndex::CandidateEdge& ce = f.cand[f.edge_pos++];
+    const uint32_t c = f.blist.NextLive(f.states, f.edge_pos, &stats_.probes);
+    if (c < f.blist.num_cand) {
+      const TrimmedIndex::CandidateEdge& ce = f.cand[c];
+      f.edge_pos = c + 1;
       Frame& next = stack_[depth_ + 1];
       // Advance the reachable set: OR the delta rows of the prefix's
-      // states, then mask with the destination's useful set. A candidate
-      // can be dead for the *current* prefix (empty result) even though
-      // some other prefix takes it.
-      if (!enumerator_detail::AdvanceStates(
-              *delta_, wps_, f.states, ce.label,
-              index_->UsefulStates(depth_ + 1, ce.next_pos), &next.states))
-        continue;  // no run of the prefix fits
+      // states, then mask with the destination's useful set.
+      const bool alive = enumerator_detail::AdvanceStates(
+          *delta_, wps_, f.states, ce.label,
+          index_->UsefulStates(depth_ + 1, ce.next_pos), &next.states,
+          &stats_.row_ors);
+      assert(alive && "certificate handed out a dead candidate");
+      (void)alive;
       next.vertex = ce.dst;
       next.edge_pos = 0;
       walk_.edges.push_back(ce.edge);
       ++depth_;
-      if (static_cast<int32_t>(depth_) < lambda_)
-        next.cand = index_->Candidates(depth_, next.vertex);
-      pushed = true;
-      break;
-    }
-    if (pushed) {
       if (static_cast<int32_t>(depth_) == lambda_) {
         valid_ = true;
         return;
       }
+      next.cand = index_->CandidatesAt(depth_, ce.next_pos);
+      next.blist = index_->BListAt(depth_, ce.next_pos);
       continue;
     }
     if (depth_ == 0) return;  // root exhausted: enumeration done

@@ -12,6 +12,17 @@
 // leads to output and every answer is emitted exactly once, in
 // depth-first order over candidate-edge lists.
 //
+// Delay (Theorem 2): each frame derives its *live* candidate positions
+// from the reachable set R through the index's certificate structure
+// (TrimmedIndex::BList) — the next candidate is a min over R of O(1)
+// next-usable loads, never a trial advance over a possibly-dead edge.
+// Every candidate the enumerator touches therefore extends to an
+// answer, and the worst-case gap between two outputs is at most lambda
+// pops plus lambda pushes, each O(|A|): the paper's O(lambda x |A|)
+// delay, independent of |D| and of dead-candidate fanout. OpStats
+// counts the delta-row ORs and certificate probes so the bound is
+// testable without a timer.
+//
 // All answers have length exactly lambda (shortest-walk semantics), so
 // output order is trivially non-decreasing in length. lambda == 0
 // (source == target, query accepts the empty word) yields the single
@@ -62,6 +73,17 @@ inline bool AdvanceStates(const CompiledDelta& delta, uint32_t wps,
 
 class TrimmedEnumerator {
  public:
+  /// Operation counts of the work FindNext actually performs — the
+  /// CI-stable proxy for the Theorem 2 delay bound (wall clock is too
+  /// noisy to assert on). Between two outputs, row_ors <= lambda x |R|
+  /// and probes <= (2 x lambda + 1) x |R| with |R| <= |Q|; both are
+  /// independent of |D| and of the candidate fanout.
+  struct OpStats {
+    uint64_t row_ors = 0;  // delta-row ORs (state-set advances)
+    uint64_t probes = 0;   // certificate next-usable loads (NextLive)
+    uint64_t total() const { return row_ors + probes; }
+  };
+
   /// The annotation and index must outlive the enumerator; \p source and
   /// \p target must match the ones the annotation was built from.
   TrimmedEnumerator(const Database& db, const Annotation& ann,
@@ -77,14 +99,20 @@ class TrimmedEnumerator {
   /// The current answer; only meaningful while Valid().
   const Walk& walk() const { return walk_; }
 
+  const OpStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = OpStats(); }
+
  private:
   struct Frame {
     uint32_t vertex = 0;
-    StateSet states;      // useful states reachable by the prefix
-    size_t edge_pos = 0;  // next candidate edge to try at this frame
-    // Candidate edges of (depth, vertex), resolved once when the frame
-    // is entered so revisits skip the index lookup.
+    StateSet states;        // useful states reachable by the prefix
+    uint32_t edge_pos = 0;  // next candidate position to consider
+    // Candidate edges and certificate structure of (depth, vertex),
+    // resolved once when the frame is entered so revisits skip the
+    // index lookup. blist.useful is the mask states was built with, so
+    // states ⊆ blist.useful — the NextLive precondition.
     std::span<const TrimmedIndex::CandidateEdge> cand;
+    TrimmedIndex::BList blist;
   };
 
   void FindNext();
@@ -101,6 +129,7 @@ class TrimmedEnumerator {
   uint32_t depth_ = 0;
   Walk walk_;
   bool valid_ = false;
+  OpStats stats_;
 };
 
 }  // namespace dsw

@@ -38,8 +38,9 @@ ResumableEnumerator::ResumableEnumerator(const Database& db,
   }
   uint32_t slot = index_->SlotAt(0, source_);
   assert(slot != kNoSlot && "answers exist but source has no queue");
-  stack_[0].cur = index_->RestartCursor(slot);
-  stack_[0].end = index_->EndCursor(slot);
+  stack_[0].base = index_->RestartCursor(slot);
+  stack_[0].cur = stack_[0].base;
+  stack_[0].blist = index_->BListOf(slot);
   FindNext();
 }
 
@@ -54,39 +55,41 @@ void ResumableEnumerator::Next() {
 
 void ResumableEnumerator::FindNext() {
   // Mirrors TrimmedEnumerator::FindNext over the index's queues; the
-  // only structural difference is that frames hold (cur, end) cursor
-  // pairs into the shared candidate pool instead of spans, so a frame
+  // only structural difference is that frames hold (base, cur)
+  // cursors into the shared candidate pool instead of spans, so a frame
   // rebuilt by SeekAfter is indistinguishable from one the DFS left
-  // behind.
+  // behind. The certificate structure (B-lists) guarantees every
+  // candidate NextLive hands back is live for the frame's reachable
+  // set, so AdvanceStates cannot fail and the loop does at most lambda
+  // pops + lambda pushes between outputs (Theorem 2).
   while (true) {
     Frame& f = stack_[depth_];
-    bool pushed = false;
-    while (f.cur < f.end) {
-      const ResumableIndex::Candidate& ce = index_->At(f.cur++);
+    const uint32_t c =
+        f.blist.NextLive(f.states, f.cur - f.base, &stats_.probes);
+    if (c < f.blist.num_cand) {
+      const ResumableIndex::Candidate& ce = index_->At(f.base + c);
+      f.cur = f.base + c + 1;
       ++stats_.cells;
       Frame& next = stack_[depth_ + 1];
-      if (!enumerator_detail::AdvanceStates(
-              *delta_, wps_, f.states, ce.label,
-              index_->trimmed().UsefulStates(depth_ + 1, ce.next_pos),
-              &next.states, &stats_.row_ors))
-        continue;  // no run of the prefix fits
+      const bool alive = enumerator_detail::AdvanceStates(
+          *delta_, wps_, f.states, ce.label,
+          index_->trimmed().UsefulStates(depth_ + 1, ce.next_pos),
+          &next.states, &stats_.row_ors);
+      assert(alive && "certificate handed out a dead candidate");
+      (void)alive;
       next.vertex = ce.dst;
       walk_.edges.push_back(ce.edge);
       ++depth_;
-      if (static_cast<int32_t>(depth_) < lambda_) {
-        uint32_t slot = index_->SlotAt(depth_, ce.dst);
-        // ce.dst is useful at depth_ (< lambda), so its queue exists.
-        next.cur = index_->RestartCursor(slot);
-        next.end = index_->EndCursor(slot);
-      }
-      pushed = true;
-      break;
-    }
-    if (pushed) {
       if (static_cast<int32_t>(depth_) == lambda_) {
         valid_ = true;
         return;
       }
+      // ce.dst is useful at depth_ (< lambda), so its queue exists;
+      // next_pos locates it in O(1), no binary search.
+      uint32_t slot = index_->SlotAtPos(depth_, ce.next_pos);
+      next.base = index_->RestartCursor(slot);
+      next.cur = next.base;
+      next.blist = index_->BListOf(slot);
       continue;
     }
     if (depth_ == 0) return;  // root exhausted: enumeration done
@@ -116,13 +119,14 @@ bool ResumableEnumerator::SeekAfter(const Walk& prev) {
   // Guided run (Theorem 18): re-derive the reachable-run sets R level
   // by level from prev's edges alone and point every level's cursor
   // just past prev's edge. O(lambda x |A|) total — the SeekGe calls are
-  // O(1) each, so no in-degree factor anywhere.
+  // O(1) each, so no in-degree factor anywhere; only level 0 needs a
+  // vertex lookup, deeper slots follow from each candidate's next_pos.
   walk_.edges.assign(prev.edges.begin(), prev.edges.end());
   stack_[0].vertex = source_;
   stack_[0].states.Assign(r0_);
+  uint32_t slot = index_->SlotAt(0, source_);
   for (uint32_t i = 0; i < static_cast<uint32_t>(lambda_); ++i) {
     Frame& f = stack_[i];
-    uint32_t slot = index_->SlotAt(i, f.vertex);
     if (slot == kNoSlot) return RejectSeek();  // unreachable by invariant
     uint32_t e = walk_.edges[i];
     ++stats_.seeks;
@@ -139,7 +143,11 @@ bool ResumableEnumerator::SeekAfter(const Walk& prev) {
       return RejectSeek();  // no accepting run threads through prev
     next.vertex = ce.dst;
     f.cur = cur + 1;  // resume strictly after prev's choice
-    f.end = index_->EndCursor(slot);
+    f.base = index_->RestartCursor(slot);
+    f.blist = index_->BListOf(slot);
+    slot = i + 1 < static_cast<uint32_t>(lambda_)
+               ? index_->SlotAtPos(i + 1, ce.next_pos)
+               : kNoSlot;
   }
 
   // The stack is now exactly what the stateful DFS holds when emitting

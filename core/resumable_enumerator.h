@@ -45,9 +45,10 @@ class ResumableEnumerator {
   /// index arithmetic are O(log) / O(1) and not counted.
   struct OpStats {
     uint64_t seeks = 0;    // SeekGe repositionings (one per level)
-    uint64_t cells = 0;    // queue entries examined by Next/FindNext
+    uint64_t cells = 0;    // queue entries taken by Next/FindNext
     uint64_t row_ors = 0;  // delta-row ORs (state-set advances)
-    uint64_t total() const { return seeks + cells + row_ors; }
+    uint64_t probes = 0;   // certificate next-usable loads (NextLive)
+    uint64_t total() const { return seeks + cells + row_ors + probes; }
   };
 
   /// The annotation and index must outlive the enumerator; \p source
@@ -79,9 +80,14 @@ class ResumableEnumerator {
  private:
   struct Frame {
     uint32_t vertex = 0;
-    StateSet states;   // reachable-run set R of the prefix
-    uint32_t cur = 0;  // next queue entry to try (candidate-pool index)
-    uint32_t end = 0;  // the frame's queue end
+    StateSet states;    // reachable-run set R of the prefix
+    uint32_t cur = 0;   // next queue entry to consider (pool index)
+    uint32_t base = 0;  // the frame's queue front (RestartCursor)
+    // Certificate structure of the frame's queue: cur - base is the
+    // B-list position, and states ⊆ blist.useful (the mask states was
+    // built with) — the NextLive precondition. A frame rebuilt by
+    // SeekAfter carries the same blist as one the DFS left behind.
+    TrimmedIndex::BList blist;
   };
 
   bool RejectSeek();

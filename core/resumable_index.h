@@ -61,8 +61,10 @@ class ResumableIndex {
   };
 
   /// Builds the trimmed structure (one backward sweep) and the sorted
-  /// queues + rank arrays on top. \p db must outlive nothing here — the
-  /// index is self-contained once built.
+  /// queues + rank arrays on top. Release builds never consult \p db
+  /// after construction; debug builds keep a back-pointer for the
+  /// stale-snapshot assertion (TrimmedIndex::AssertFresh), so there the
+  /// database must outlive the index.
   ResumableIndex(const Database& db, const Annotation& ann);
 
   /// The underlying trimmed structure (useful sets, lambda, etc.).
@@ -98,6 +100,15 @@ class ResumableIndex {
     size_t pos = trimmed_.UsefulLevel(level).FindIndex(v);
     if (pos == LevelSets::npos) return kNoSlot;
     return level_base_[level] + static_cast<uint32_t>(pos);
+  }
+
+  /// Queue of the vertex at position \p pos of useful level \p level —
+  /// the O(1) variant for positions recorded in Candidate::next_pos
+  /// (slots are laid out level-major in useful-level order, so this is
+  /// plain arithmetic; no binary search anywhere on the hot path).
+  /// Precondition: level < lambda and pos < |useful level|.
+  uint32_t SlotAtPos(uint32_t level, uint32_t pos) const {
+    return level_base_[level] + pos;
   }
 
   uint32_t level_of(uint32_t slot) const { return level_[slot]; }
@@ -141,10 +152,19 @@ class ResumableIndex {
   /// EndCursor(slot) when all entries precede it. O(1): one rank-array
   /// load. Precondition: SpanContains(slot, edge).
   uint32_t SeekGe(uint32_t slot, uint32_t edge) const {
+    trimmed_.AssertFresh();
     assert(SpanContains(slot, edge) &&
            "SeekGe: edge is not an out-edge of the slot's vertex");
     uint32_t rel = edge_tgt_[edge] - span_begin_[slot];
     return cand_begin_[slot] + rank_pool_[rank_begin_[slot] + rel];
+  }
+
+  /// Certificate (B-list) structure of the slot's queue. Queue entries
+  /// mirror the trimmed candidate list position for position, so the
+  /// B-list positions are cursor offsets from RestartCursor(slot).
+  TrimmedIndex::BList BListOf(uint32_t slot) const {
+    const uint32_t level = level_[slot];
+    return trimmed_.BListAt(level, slot - level_base_[level]);
   }
 
   /// The pool entry under a cursor — for callers that carry (cur, end)

@@ -3,11 +3,14 @@
 namespace dsw {
 
 TrimmedIndex::TrimmedIndex(const Database& db, const Annotation& ann) {
+  db_ = &db;
+  generation_ = db.generation();
   if (!ann.reachable()) return;
   const uint32_t lambda = static_cast<uint32_t>(ann.lambda);
   wps_ = ann.words_per_set();
   useful_.assign(lambda + 1, LevelSets(ann.num_states));
   cand_ranges_.resize(lambda);
+  blist_off_.resize(lambda);
 
   // Level lambda: only (target, final) pairs are useful. Other vertices
   // annotated at this level — even ones carrying final states — end no
@@ -37,6 +40,10 @@ TrimmedIndex::TrimmedIndex(const Database& db, const Annotation& ann) {
   const CompiledDelta& delta = ann.delta;
   StateSet useful_here(ann.num_states);
   StateSet edge_q(ann.num_states);
+  // Scratch, reused per vertex: the usable-source set of each candidate
+  // pushed so far (wps_ words per candidate), the raw material of the
+  // vertex's B-list block.
+  std::vector<uint64_t> cand_src;
 
   for (uint32_t i = lambda; i-- > 0;) {
     const LevelSets& level = ann.levels[i];
@@ -46,6 +53,7 @@ TrimmedIndex::TrimmedIndex(const Database& db, const Annotation& ann) {
       const uint32_t v = level.vertex(vi);
       const StateSetView states = level.states(vi);
       useful_here.ZeroAll();
+      cand_src.clear();
       const uint32_t cand_begin = static_cast<uint32_t>(cand_pool_.size());
       for (const LabelIndex::Group& group : adj.GroupsOf(v)) {
         if (!delta.HasLabel(group.label)) continue;
@@ -72,13 +80,41 @@ TrimmedIndex::TrimmedIndex(const Database& db, const Annotation& ann) {
           if (!last_ok) continue;
           cand_pool_.push_back(
               CandidateEdge{t.edge, t.dst, group.label, last_pos});
+          cand_src.insert(cand_src.end(), edge_q.words(),
+                          edge_q.words() + wps_);
           useful_here |= edge_q;
         }
       }
       if (useful_here.Any()) {
         useful_[i].Append(v, useful_here.words());
+        const uint32_t ncand =
+            static_cast<uint32_t>(cand_pool_.size()) - cand_begin;
         cand_ranges_[i].emplace_back(
             cand_begin, static_cast<uint32_t>(cand_pool_.size()));
+
+        // The vertex's B-list block: one next-usable row per useful
+        // state. useful_here is exactly the union of the candidates'
+        // usable-source sets, so every row has >= 1 usable candidate.
+        // O(|useful| x ncand) — the same order as the block itself.
+        blist_off_[i].push_back(nxt_pool_.size());
+        nxt_pool_.resize(nxt_pool_.size() +
+                         static_cast<size_t>(useful_here.Count()) *
+                             (ncand + 1));
+        uint32_t* block = nxt_pool_.data() + blist_off_[i].back();
+        uint32_t j = 0;
+        useful_here.ForEach([&](uint32_t q) {
+          uint32_t* row = block + static_cast<size_t>(j) * (ncand + 1);
+          uint32_t cur = ncand;  // sentinel: no usable candidate >= c
+          row[ncand] = ncand;
+          for (uint32_t c = ncand; c-- > 0;) {
+            if ((cand_src[static_cast<size_t>(c) * wps_ + (q >> 6)] >>
+                 (q & 63)) &
+                1)
+              cur = c;
+            row[c] = cur;
+          }
+          ++j;
+        });
       }
     }
   }

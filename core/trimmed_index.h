@@ -23,11 +23,38 @@
 // OR per useful next state plus one AND, shared across parallel edges
 // with the same destination, instead of nested per-transition lambda
 // scans. All useful sets live in contiguous word pools (LevelSets);
-// total cost and size stay O(|D| x |A|).
+// the useful sets and the candidate pool stay O(|D| x |A|) in cost and
+// size. The certificate blocks below are the one structure that does
+// not: they are *dense* per-state next-usable arrays, so they cost
+// sum over useful (level, v) of |useful states| x (num_cand + 1)
+// entries — O(|D| x |A| x |Q|) worst case — trading a |Q| space factor
+// for O(1) probes in the enumerator's hot loop. (A sparse per-state
+// B-list with binary-searched seeks would restore O(|D| x |A|) space
+// at an O(log fanout) probe cost; switch if index size ever bites.)
+//
+// The index also stores the *certificate* structure behind the paper's
+// Theorem 2 delay bound (the B-lists). A candidate edge of (i, v) is
+// usable from state q iff q has a surviving move across it — the very
+// set the backward sweep computes per edge — and a candidate is *live*
+// for a prefix with reachable-run set R iff it is usable from some
+// q in R. Per useful (i, v) and per useful state q there (slot j = rank
+// of q in useful(i, v)), the index keeps a next-usable array over the
+// vertex's candidate list:
+//
+//   nxt[j][c] = smallest candidate position >= c usable from q
+//               (num_cand when none)
+//
+// so "first live candidate at or after position c for R" is a min of
+// one O(1) load per state of R (BList::NextLive) — the enumerators
+// never touch a dead candidate, which is what makes their delay the
+// honest O(lambda x |A|) of Theorem 2 instead of degrading with the
+// dead-candidate fanout.
 
 #ifndef DSW_CORE_TRIMMED_INDEX_H_
 #define DSW_CORE_TRIMMED_INDEX_H_
 
+#include <bit>
+#include <cassert>
 #include <cstdint>
 #include <span>
 #include <utility>
@@ -53,6 +80,67 @@ class TrimmedIndex {
     uint32_t next_pos;
   };
 
+  /// The Theorem 2 certificate view of one useful (level, vertex): the
+  /// per-state next-usable-candidate arrays, with the useful set as the
+  /// slot domain. Positions are relative to the vertex's candidate list
+  /// (Candidates/CandidatesAt spans and the resumable queues index
+  /// identically).
+  struct BList {
+    const uint32_t* nxt = nullptr;  // useful.Count() rows, num_cand+1 each
+    uint32_t num_cand = 0;
+    StateSetView useful;  // slot domain; any queried R satisfies R ⊆ useful
+
+    /// Smallest candidate position >= \p from live for the reachable-run
+    /// set \p r (precondition: r ⊆ useful, which every enumerator frame
+    /// maintains), or num_cand when the frame is exhausted. One word-
+    /// parallel walk over r's slots: O(|r|) loads plus O(|Q|/64) word
+    /// ops, independent of num_cand. When \p probes is non-null it is
+    /// incremented by the number of slot loads (the op-count proxy the
+    /// delay tests assert on).
+    uint32_t NextLive(const StateSet& r, uint32_t from,
+                      uint64_t* probes = nullptr) const {
+      const uint64_t* uw = useful.words();
+      const uint64_t* rw = r.words();
+      const size_t n = useful.num_words();
+      // Fast path: when every useful state is reachable (r == useful),
+      // every remaining candidate is live — each one is usable from
+      // some useful state by construction — so the next live candidate
+      // is `from` itself. This is the common case on non-adversarial
+      // prefixes and costs one word-compare per set word.
+      bool full = true;
+      for (size_t wi = 0; wi < n; ++wi)
+        if (uw[wi] != rw[wi]) {
+          full = false;
+          break;
+        }
+      if (full) {
+        if (probes) ++*probes;
+        return from;
+      }
+      const uint32_t stride = num_cand + 1;
+      uint32_t best = num_cand;
+      uint32_t base = 0;
+      uint64_t count = 0;
+      for (size_t wi = 0; wi < n; ++wi) {
+        const uint64_t u = uw[wi];
+        uint64_t both = u & rw[wi];
+        while (both) {
+          const uint32_t bit = static_cast<uint32_t>(std::countr_zero(both));
+          const uint32_t j =
+              base + static_cast<uint32_t>(
+                         std::popcount(u & ((uint64_t{1} << bit) - 1)));
+          const uint32_t nx = nxt[static_cast<size_t>(j) * stride + from];
+          if (nx < best) best = nx;
+          ++count;
+          both &= both - 1;
+        }
+        base += static_cast<uint32_t>(std::popcount(u));
+      }
+      if (probes) *probes += count;
+      return best;
+    }
+  };
+
   TrimmedIndex(const Database& db, const Annotation& ann);
 
   /// Number of useful (v, q, level) triples; 0 iff no answer exists.
@@ -60,14 +148,29 @@ class TrimmedIndex {
   bool empty() const { return num_slots_ == 0; }
   uint32_t words_per_set() const { return wps_; }
 
+  /// Debug-only staleness check: the spans, positions and candidate
+  /// lists in here describe the database as of construction time; any
+  /// AddVertex/AddEdge since silently invalidates them. Compiled away
+  /// under NDEBUG. Debug builds read the database's generation through
+  /// the stored back-pointer, so there the Database must outlive the
+  /// index; release builds never touch it (the index carries everything
+  /// the enumerators need).
+  void AssertFresh() const {
+    assert((db_ == nullptr || db_->generation() == generation_) &&
+           "stale TrimmedIndex: the Database was mutated after this index "
+           "was built");
+  }
+
   /// Useful states at (level, v); null view if none.
   StateSetView Useful(uint32_t level, uint32_t v) const {
+    AssertFresh();
     return level < useful_.size() ? useful_[level].Find(v) : StateSetView();
   }
 
   /// Useful states at a (level, position) slot — the O(1) variant for
   /// positions recorded in CandidateEdge::next_pos.
   StateSetView UsefulStates(uint32_t level, uint32_t pos) const {
+    AssertFresh();
     return useful_[level].states(pos);
   }
 
@@ -77,21 +180,36 @@ class TrimmedIndex {
   /// The whole useful level — sorted vertices with their state sets.
   /// ResumableIndex walks these to lay out its per-(level, vertex)
   /// candidate queues without re-running the backward sweep.
-  const LevelSets& UsefulLevel(uint32_t level) const { return useful_[level]; }
+  const LevelSets& UsefulLevel(uint32_t level) const {
+    AssertFresh();
+    return useful_[level];
+  }
 
   /// Candidates of the vertex at position \p pos of useful level
   /// \p level (level < lambda) — the O(1) positional variant of
   /// Candidates() for callers already iterating UsefulLevel(level).
   std::span<const CandidateEdge> CandidatesAt(uint32_t level,
                                               size_t pos) const {
+    AssertFresh();
     const auto& [begin, end] = cand_ranges_[level][pos];
     return {cand_pool_.data() + begin, cand_pool_.data() + end};
+  }
+
+  /// Certificate (B-list) structure of the vertex at position \p pos of
+  /// useful level \p level (level < lambda); O(1), same positions as
+  /// CandidatesAt.
+  BList BListAt(uint32_t level, size_t pos) const {
+    AssertFresh();
+    const auto& [begin, end] = cand_ranges_[level][pos];
+    return BList{nxt_pool_.data() + blist_off_[level][pos], end - begin,
+                 useful_[level].states(pos)};
   }
 
   /// Candidate edges out of \p v at \p level (level < lambda). Empty for
   /// vertices with no useful states.
   std::span<const CandidateEdge> Candidates(uint32_t level,
                                             uint32_t v) const {
+    AssertFresh();
     if (level >= cand_ranges_.size()) return {};
     size_t i = useful_[level].FindIndex(v);
     if (i == LevelSets::npos) return {};
@@ -106,7 +224,15 @@ class TrimmedIndex {
   // [begin, end) range in cand_pool_. (Level lambda has no candidates.)
   std::vector<std::vector<std::pair<uint32_t, uint32_t>>> cand_ranges_;
   std::vector<CandidateEdge> cand_pool_;
+  // B-lists, parallel to cand_ranges_: per (level, pos) the offset of
+  // the vertex's block in nxt_pool_ (useful-state-major rows of
+  // num_cand + 1 next-usable entries each; see BList).
+  std::vector<std::vector<size_t>> blist_off_;
+  std::vector<uint32_t> nxt_pool_;
   size_t num_slots_ = 0;
+  // Staleness tracking for AssertFresh; unused in release builds.
+  const Database* db_ = nullptr;
+  uint64_t generation_ = 0;
 };
 
 }  // namespace dsw

@@ -7,8 +7,11 @@
 
 #include <string>
 
+#include "core/annotate.h"
 #include "core/database.h"
+#include "core/trimmed_index.h"
 #include "workload/generators.h"
+#include "workload/queries.h"
 
 namespace dsw {
 namespace {
@@ -68,6 +71,45 @@ TEST(DatabaseTest, RepeatedInterningThroughInstanceIsIdempotent) {
   }
   EXPECT_EQ(inst.db.labels().size(), size_before);
 }
+
+TEST(DatabaseTest, GenerationCountsStructuralMutationsOnly) {
+  Database db;
+  EXPECT_EQ(db.generation(), 0u);
+  db.AddVertex();
+  uint64_t after_vertex = db.generation();
+  EXPECT_GT(after_vertex, 0u);
+  db.AddVertices(4);
+  uint64_t after_vertices = db.generation();
+  EXPECT_GT(after_vertices, after_vertex);
+  db.AddEdge(0, "l0", 1);
+  EXPECT_GT(db.generation(), after_vertices);
+
+  // Label interning and read-only accessors are not mutations: a query
+  // recompiled against a live database must not flag the indexes stale.
+  uint64_t gen = db.generation();
+  db.mutable_dict()->Intern("l1");
+  db.labels().Find("l0");
+  (void)db.label_index();
+  (void)db.tgt_idx(0);
+  EXPECT_EQ(db.generation(), gen);
+}
+
+#if GTEST_HAS_DEATH_TEST && !defined(NDEBUG)
+// The stale-snapshot hazard, made loud: an index built before a
+// mutation must assert on its next access instead of serving spans and
+// positions that describe the pre-mutation adjacency.
+TEST(DatabaseDeathTest, StaleTrimmedIndexAssertsInDebug) {
+  Instance inst = BubbleChain(3, 2);
+  Annotation ann = Annotate(inst.db, StaircaseNfa(1, 2), inst.source,
+                            inst.target);
+  TrimmedIndex index(inst.db, ann);
+  ASSERT_FALSE(index.empty());
+  EXPECT_TRUE(static_cast<bool>(index.Useful(0, inst.source)));
+  inst.db.AddEdge(inst.source, 0u, inst.target);  // invalidates the index
+  EXPECT_DEATH((void)index.Useful(0, inst.source), "stale TrimmedIndex");
+  EXPECT_DEATH((void)index.Candidates(0, inst.source), "stale TrimmedIndex");
+}
+#endif
 
 }  // namespace
 }  // namespace dsw

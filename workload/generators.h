@@ -153,6 +153,39 @@ inline Instance LayeredGraph(const LayeredGraphParams& params) {
   return inst;
 }
 
+/// Dead-candidate stressor for the Theorem 2 certificate machinery
+/// (pairs with ForkChainNfa(tail) from workload/queries.h). Two prefix
+/// branches leave the source for the same fork vertex v — edge 0 labeled
+/// l0, edge 1 labeled l1 — and v fans out into one l0-edge plus \p d
+/// parallel l1-edges, all into the same successor, followed by an
+/// l0-chain of length \p tail to the target. Under ForkChainNfa the l0
+/// prefix must continue with l0 and the l1 prefix with l1, so every
+/// l1-edge out of v is a *candidate* (the l1 prefix uses it) but *dead*
+/// for the l0 prefix's reachable-run set: an enumerator that trial-
+/// filters candidates scans all d dead edges between the l0-branch
+/// answer and the first l1-branch answer, while the certificate
+/// machinery skips them outright. lambda = tail + 2; answers = d + 1.
+inline Instance DeadFanout(uint32_t d, uint32_t tail) {
+  Instance inst;
+  workload_detail::InternLabels(&inst.db, 2);
+  inst.source = inst.db.AddVertex();
+  uint32_t fork = inst.db.AddVertex();
+  uint32_t join = inst.db.AddVertex();
+  inst.db.AddEdge(inst.source, 0u, fork);  // edge 0: the l0 prefix
+  inst.db.AddEdge(inst.source, 1u, fork);  // edge 1: the l1 prefix
+  inst.db.AddEdge(fork, 0u, join);         // live for the l0 prefix only
+  for (uint32_t j = 0; j < d; ++j)
+    inst.db.AddEdge(fork, 1u, join);  // live for the l1 prefix only
+  uint32_t prev = join;
+  for (uint32_t p = 0; p < tail; ++p) {
+    uint32_t v = inst.db.AddVertex();
+    inst.db.AddEdge(prev, 0u, v);
+    prev = v;
+  }
+  inst.target = prev;
+  return inst;
+}
+
 /// Copies \p core and grafts a noise subgraph onto its source: the noise
 /// is reachable (so annotation must wade through it) but never reaches
 /// the target (so the answer set, lambda, and the trimmed structure are

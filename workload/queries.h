@@ -57,6 +57,25 @@ inline Nfa CompleteNfa(uint32_t num_states, uint32_t num_labels) {
   return nfa;
 }
 
+/// The query half of the DeadFanout stressor (workload/generators.h):
+/// accepts exactly l0 l0 l0^tail and l1 l1 l0^tail. The two branches
+/// (states 1 and 2) keep both prefix edges of the data annotated at the
+/// fork, but each fanout edge survives for only one branch's state —
+/// the dead-candidate setup of the Theorem 2 delay experiments (E3b).
+/// lambda = tail + 2; |Q| = tail + 4.
+inline Nfa ForkChainNfa(uint32_t tail) {
+  Nfa nfa(tail + 4);
+  nfa.AddInitial(0);
+  nfa.AddTransition(0, 0u, 1);  // l0 branch
+  nfa.AddTransition(0, 1u, 2);  // l1 branch
+  nfa.AddTransition(1, 0u, 3);  // must continue with l0
+  nfa.AddTransition(2, 1u, 3);  // must continue with l1
+  for (uint32_t p = 0; p < tail; ++p)
+    nfa.AddTransition(3 + p, 0u, 4 + p);
+  nfa.AddFinal(tail + 3);
+  return nfa;
+}
+
 /// The E9 regex family (l0|...|l_{m-1})* l0 (l0|...|l_{m-1})*: words
 /// over {l0..l_{m-1}} containing at least one l0. |R| = 2m + 1 atoms;
 /// Thompson compiles it to O(m) transitions, Glushkov to O(m^2) — the
