@@ -40,7 +40,7 @@ struct NaiveResult {
 namespace naive_detail {
 
 struct Search {
-  const Database* db;
+  const Snapshot* snap;
   const Annotation* ann;
   uint32_t target;
   uint64_t max_paths;
@@ -66,8 +66,8 @@ struct Search {
         ++res->duplicates;
       return;
     }
-    for (uint32_t e : db->OutEdges(v)) {
-      const Edge& edge = db->edge(e);
+    for (uint32_t e : snap->OutEdges(v)) {
+      const Edge& edge = snap->edge(e);
       StateSetView next = ann->StatesAt(depth + 1, edge.dst);
       if (!next) continue;
       StateSet& step = (*targets)[depth];
@@ -87,17 +87,19 @@ struct Search {
 
 }  // namespace naive_detail
 
-/// Enumerates distinct shortest walks the naive way. \p max_paths caps
-/// the number of complete product paths generated (the answer set can be
-/// exponential); NaiveResult::budget_exhausted reports a truncated run.
-inline NaiveResult NaiveDistinctShortestWalks(const Database& db,
+/// Enumerates distinct shortest walks the naive way, against a frozen
+/// snapshot (pure read; concurrency-safe like the trimmed pipeline).
+/// \p max_paths caps the number of complete product paths generated
+/// (the answer set can be exponential); NaiveResult::budget_exhausted
+/// reports a truncated run.
+inline NaiveResult NaiveDistinctShortestWalks(const Snapshot& snap,
                                               const Nfa& query,
                                               uint32_t source,
                                               uint32_t target,
                                               uint64_t max_paths = uint64_t{1}
                                                                    << 28) {
   NaiveResult res;
-  Annotation ann = Annotate(db, query, source, target);
+  Annotation ann = Annotate(snap, query, source, target);
   res.lambda = ann.lambda;
   if (!ann.reachable()) return res;
 
@@ -105,8 +107,8 @@ inline NaiveResult NaiveDistinctShortestWalks(const Database& db,
   std::vector<uint32_t> prefix;
   std::vector<StateSet> targets(static_cast<size_t>(ann.lambda),
                                 StateSet(ann.num_states));
-  naive_detail::Search search{&db,  &ann,    target,  max_paths,
-                              &res, &seen,   &prefix, &targets};
+  naive_detail::Search search{&snap, &ann,    target,  max_paths,
+                              &res,  &seen,   &prefix, &targets};
   // One search per initial state: a run fixes its starting state.
   query.initial().ForEach([&](uint32_t q0) {
     if (StateSetView l0 = ann.StatesAt(0, source); l0 && l0.Test(q0))

@@ -39,15 +39,13 @@ class TrialFilterEnumerator {
     uint64_t total() const { return row_ors; }
   };
 
-  TrialFilterEnumerator(const Database& db, const Annotation& ann,
-                        const TrimmedIndex& index, uint32_t source,
-                        uint32_t target)
+  TrialFilterEnumerator(const Annotation& ann, const TrimmedIndex& index,
+                        uint32_t source, uint32_t target)
       : index_(&index),
         delta_(&ann.delta),
         lambda_(ann.lambda),
         wps_(index.words_per_set()) {
     assert(source == ann.source && target == ann.target);
-    (void)db;
     (void)source;
     (void)target;
     if (!ann.reachable() || index.empty()) return;

@@ -35,11 +35,12 @@ Instance GridInstance(int64_t n) {
 void BM_Ours_OnGrid(benchmark::State& state) {
   Instance inst = GridInstance(state.range(0));
   Nfa query = StaircaseNfa(1, 1);
+  Snapshot snap = inst.db.Freeze();
   bench::DelayProfile profile;
   for (auto _ : state) {
-    Annotation ann = Annotate(inst.db, query, inst.source, inst.target);
-    TrimmedIndex index(inst.db, ann);
-    TrimmedEnumerator en(inst.db, ann, index, inst.source, inst.target);
+    Annotation ann = Annotate(snap, query, inst.source, inst.target);
+    TrimmedIndex index(snap, ann);
+    TrimmedEnumerator en(ann, index, inst.source, inst.target);
     profile = bench::MeasureDelays(&en);
   }
   bench::ReportDelays(state, profile);
@@ -74,8 +75,9 @@ void BM_Naive_DuplicateBlowup(benchmark::State& state) {
   Instance inst = BubbleChain(static_cast<uint32_t>(state.range(0)), 2);
   Nfa query = StaircaseNfa(2, 2);
   NaiveResult res;
+  Snapshot snap = inst.db.Freeze();
   for (auto _ : state) {
-    res = NaiveDistinctShortestWalks(inst.db, query, inst.source,
+    res = NaiveDistinctShortestWalks(snap, query, inst.source,
                                      inst.target, uint64_t{1} << 28);
   }
   state.counters["answers"] = static_cast<double>(res.walks.size());
@@ -95,11 +97,12 @@ BENCHMARK(BM_Naive_DuplicateBlowup)->DenseRange(4, 8, 2)
 void BM_Ours_DuplicateFree(benchmark::State& state) {
   Instance inst = BubbleChain(static_cast<uint32_t>(state.range(0)), 2);
   Nfa query = StaircaseNfa(2, 2);
+  Snapshot snap = inst.db.Freeze();
   bench::DelayProfile profile;
   for (auto _ : state) {
-    Annotation ann = Annotate(inst.db, query, inst.source, inst.target);
-    TrimmedIndex index(inst.db, ann);
-    TrimmedEnumerator en(inst.db, ann, index, inst.source, inst.target);
+    Annotation ann = Annotate(snap, query, inst.source, inst.target);
+    TrimmedIndex index(snap, ann);
+    TrimmedEnumerator en(ann, index, inst.source, inst.target);
     profile = bench::MeasureDelays(&en);
   }
   bench::ReportDelays(state, profile);

@@ -35,14 +35,15 @@ namespace dsw {
 namespace {
 
 template <typename Enumerator>
-void RunDelayBench(benchmark::State& state, const Instance& inst,
+void RunDelayBench(benchmark::State& state, Instance& inst,
                    const Nfa& query) {
-  Annotation ann = Annotate(inst.db, query, inst.source, inst.target);
-  TrimmedIndex index(inst.db, ann);
+  Snapshot snap = inst.db.Freeze();
+  Annotation ann = Annotate(snap, query, inst.source, inst.target);
+  TrimmedIndex index(snap, ann);
   bench::DelayProfile profile;
   for (auto _ : state) {
     profile = bench::MeasureConstructionAndDelays<Enumerator>(
-        inst.db, ann, index, inst.source, inst.target);
+        /*max_outputs=*/200000, ann, index, inst.source, inst.target);
   }
   bench::ReportDelays(state, profile);
 
@@ -50,7 +51,7 @@ void RunDelayBench(benchmark::State& state, const Instance& inst,
   // work (delta-row ORs + certificate probes), the quantity Theorem 2
   // bounds by O(lambda x |A|). The final (invalidating) Next is
   // included — the end-of-enumeration scan is a delay like any other.
-  Enumerator en(inst.db, ann, index, inst.source, inst.target);
+  Enumerator en(ann, index, inst.source, inst.target);
   uint64_t outputs = 0;
   const uint64_t setup_ops = en.stats().total();  // the first FindNext
   uint64_t last = setup_ops;

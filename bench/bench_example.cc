@@ -15,9 +15,10 @@ namespace {
 
 void BM_Figure1_Preprocess(benchmark::State& state) {
   Figure1 fig = MakeFigure1();
+  Snapshot snap = fig.db.Freeze();
   for (auto _ : state) {
-    Annotation ann = Annotate(fig.db, fig.query, fig.alix, fig.bob);
-    TrimmedIndex index(fig.db, ann);
+    Annotation ann = Annotate(snap, fig.query, fig.alix, fig.bob);
+    TrimmedIndex index(snap, ann);
     benchmark::DoNotOptimize(index.num_slots());
   }
 }
@@ -25,11 +26,12 @@ BENCHMARK(BM_Figure1_Preprocess);
 
 void BM_Figure1_Enumerate(benchmark::State& state) {
   Figure1 fig = MakeFigure1();
-  Annotation ann = Annotate(fig.db, fig.query, fig.alix, fig.bob);
-  TrimmedIndex index(fig.db, ann);
+  Snapshot snap = fig.db.Freeze();
+  Annotation ann = Annotate(snap, fig.query, fig.alix, fig.bob);
+  TrimmedIndex index(snap, ann);
   size_t outputs = 0;
   for (auto _ : state) {
-    for (TrimmedEnumerator en(fig.db, ann, index, fig.alix, fig.bob);
+    for (TrimmedEnumerator en(ann, index, fig.alix, fig.bob);
          en.Valid(); en.Next()) {
       benchmark::DoNotOptimize(en.walk().edges.data());
       ++outputs;
@@ -42,11 +44,12 @@ BENCHMARK(BM_Figure1_Enumerate);
 
 void BM_Figure1_EndToEnd(benchmark::State& state) {
   Figure1 fig = MakeFigure1();
+  Snapshot snap = fig.db.Freeze();
   for (auto _ : state) {
-    Annotation ann = Annotate(fig.db, fig.query, fig.alix, fig.bob);
-    TrimmedIndex index(fig.db, ann);
+    Annotation ann = Annotate(snap, fig.query, fig.alix, fig.bob);
+    TrimmedIndex index(snap, ann);
     size_t n = 0;
-    for (TrimmedEnumerator en(fig.db, ann, index, fig.alix, fig.bob);
+    for (TrimmedEnumerator en(ann, index, fig.alix, fig.bob);
          en.Valid(); en.Next()) {
       ++n;
     }

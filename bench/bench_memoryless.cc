@@ -26,14 +26,15 @@ void BM_Memoryless_StatefulReference(benchmark::State& state) {
   Instance inst =
       StarOfChains(static_cast<uint32_t>(state.range(0)), kDepth, 2);
   Nfa query = StaircaseNfa(1, 2);
-  Annotation ann = Annotate(inst.db, query, inst.source, inst.target);
-  ResumableIndex index(inst.db, ann);
+  Snapshot snap = inst.db.Freeze();
+  Annotation ann = Annotate(snap, query, inst.source, inst.target);
+  ResumableIndex index(snap, ann);
   bench::DelayProfile profile;
   for (auto _ : state) {
     // Construction (= the first FindNext) is reported as setup_ns, not
     // folded into the first delay.
     profile = bench::MeasureConstructionAndDelays<ResumableEnumerator>(
-        inst.db, ann, index, inst.source, inst.target);
+        /*max_outputs=*/200000, ann, index, inst.source, inst.target);
   }
   bench::ReportDelays(state, profile);
   state.counters["in_degree"] = static_cast<double>(state.range(0));
@@ -48,12 +49,13 @@ void BM_Memoryless_SeekAfterChain(benchmark::State& state) {
   Instance inst =
       StarOfChains(static_cast<uint32_t>(state.range(0)), kDepth, 2);
   Nfa query = StaircaseNfa(1, 2);
-  Annotation ann = Annotate(inst.db, query, inst.source, inst.target);
-  ResumableIndex index(inst.db, ann);
+  Snapshot snap = inst.db.Freeze();
+  Annotation ann = Annotate(snap, query, inst.source, inst.target);
+  ResumableIndex index(snap, ann);
   // One enumerator instance is reused across NextOutput steps: the
   // memoryless model keeps the preprocessed structure (queues + cursors)
   // fixed and recomputes positions from the previous output alone.
-  ResumableEnumerator en(inst.db, ann, index, inst.source, inst.target);
+  ResumableEnumerator en(ann, index, inst.source, inst.target);
   if (!en.Valid()) {
     state.SkipWithError("no answers");
     return;
@@ -85,9 +87,10 @@ void BM_Memoryless_LinearReseek(benchmark::State& state) {
   Instance inst =
       StarOfChains(static_cast<uint32_t>(state.range(0)), kDepth, 2);
   Nfa query = StaircaseNfa(1, 2);
-  Annotation ann = Annotate(inst.db, query, inst.source, inst.target);
-  ResumableIndex index(inst.db, ann);
-  ResumableEnumerator en(inst.db, ann, index, inst.source, inst.target);
+  Snapshot snap = inst.db.Freeze();
+  Annotation ann = Annotate(snap, query, inst.source, inst.target);
+  ResumableIndex index(snap, ann);
+  ResumableEnumerator en(ann, index, inst.source, inst.target);
   if (!en.Valid()) {
     state.SkipWithError("no answers");
     return;
@@ -107,7 +110,7 @@ void BM_Memoryless_LinearReseek(benchmark::State& state) {
       for (size_t i = prev.edges.size(); i-- > 0;) {
         EdgeId e = prev.edges[i];
         VertexId u = inst.db.src(e);
-        uint32_t ti = inst.db.tgt_idx(e);
+        uint32_t ti = snap.tgt_idx(e);
         for (StateId p = 0; p < ann.num_states; ++p) {
           uint32_t slot = index.SlotOf(u, p);
           if (slot == kNoSlot) continue;

@@ -29,9 +29,10 @@ void BM_Preprocess_VsDbSize(benchmark::State& state) {
   Instance inst = LayeredGraph(params);
   Nfa query = StaircaseNfa(2, 2);
 
+  Snapshot snap = inst.db.Freeze();
   for (auto _ : state) {
-    Annotation ann = Annotate(inst.db, query, inst.source, inst.target);
-    TrimmedIndex index(inst.db, ann);
+    Annotation ann = Annotate(snap, query, inst.source, inst.target);
+    TrimmedIndex index(snap, ann);
     benchmark::DoNotOptimize(index.num_slots());
   }
   state.counters["edges"] = static_cast<double>(inst.db.num_edges());
@@ -56,9 +57,10 @@ void BM_Preprocess_VsAutomatonSize(benchmark::State& state) {
   Instance inst = LayeredGraph(params);
   Nfa query = StaircaseNfa(static_cast<uint32_t>(state.range(0)), 2);
 
+  Snapshot snap = inst.db.Freeze();
   for (auto _ : state) {
-    Annotation ann = Annotate(inst.db, query, inst.source, inst.target);
-    TrimmedIndex index(inst.db, ann);
+    Annotation ann = Annotate(snap, query, inst.source, inst.target);
+    TrimmedIndex index(snap, ann);
     benchmark::DoNotOptimize(index.num_slots());
   }
   state.counters["transitions"] =
@@ -79,9 +81,10 @@ void BM_Preprocess_Grid(benchmark::State& state) {
   Instance inst = Grid(n, n);
   Nfa query = StaircaseNfa(63, 1);
 
+  Snapshot snap = inst.db.Freeze();
   for (auto _ : state) {
-    Annotation ann = Annotate(inst.db, query, inst.source, inst.target);
-    TrimmedIndex index(inst.db, ann);
+    Annotation ann = Annotate(snap, query, inst.source, inst.target);
+    TrimmedIndex index(snap, ann);
     benchmark::DoNotOptimize(index.num_slots());
   }
   state.counters["edges"] = static_cast<double>(inst.db.num_edges());
@@ -103,9 +106,10 @@ void BM_Preprocess_EmbedInNoise(benchmark::State& state) {
   Instance inst = EmbedInNoise(core, noise, 4 * noise, 97);
   Nfa query = StaircaseNfa(64, 2);
 
+  Snapshot snap = inst.db.Freeze();
   for (auto _ : state) {
-    Annotation ann = Annotate(inst.db, query, inst.source, inst.target);
-    TrimmedIndex index(inst.db, ann);
+    Annotation ann = Annotate(snap, query, inst.source, inst.target);
+    TrimmedIndex index(snap, ann);
     benchmark::DoNotOptimize(index.num_slots());
   }
   state.counters["edges"] = static_cast<double>(inst.db.num_edges());
@@ -127,8 +131,9 @@ void BM_Preprocess_CompleteQuery(benchmark::State& state) {
   Instance inst = LayeredGraph(params);
   Nfa query = CompleteNfa(static_cast<uint32_t>(state.range(0)), 2);
 
+  Snapshot snap = inst.db.Freeze();
   for (auto _ : state) {
-    Annotation ann = Annotate(inst.db, query, inst.source, inst.target);
+    Annotation ann = Annotate(snap, query, inst.source, inst.target);
     benchmark::DoNotOptimize(ann.lambda);
   }
   state.counters["transitions"] =

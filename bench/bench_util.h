@@ -58,16 +58,20 @@ DelayProfile MeasureDelays(Enumerator* en, uint64_t max_outputs = 200000) {
 }
 
 /// \brief Constructs an Enumerator (timing the construction into
-/// profile->setup_ns) and drains it through MeasureDelays. The
-/// setup/delay split keeps the first FindNext — whose cost scales with
-/// preprocessing, not with the per-output bound — out of the delay
-/// columns.
+/// profile->setup_ns) and drains it through MeasureDelays, honoring
+/// \p max_outputs. The setup/delay split keeps the first FindNext —
+/// whose cost scales with preprocessing, not with the per-output bound
+/// — out of the delay columns. max_outputs is a leading (not trailing)
+/// parameter so it can never be swallowed by the constructor-argument
+/// pack — a trailing default here would silently forward into the
+/// Enumerator constructor instead of bounding the drain.
 template <typename Enumerator, typename... Args>
-DelayProfile MeasureConstructionAndDelays(Args&&... args) {
+DelayProfile MeasureConstructionAndDelays(uint64_t max_outputs,
+                                          Args&&... args) {
   Stopwatch setup;
   Enumerator en(std::forward<Args>(args)...);
   int64_t setup_ns = setup.ElapsedNs();
-  DelayProfile profile = MeasureDelays(&en);
+  DelayProfile profile = MeasureDelays(&en, max_outputs);
   profile.setup_ns = setup_ns;
   return profile;
 }

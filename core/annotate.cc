@@ -10,7 +10,7 @@ constexpr uint32_t kNoSlot = UINT32_MAX;
 
 }  // namespace
 
-Annotation Annotate(const Database& db, const Nfa& query, uint32_t source,
+Annotation Annotate(const Snapshot& snap, const Nfa& query, uint32_t source,
                     uint32_t target) {
   Annotation ann;
   ann.num_states = query.num_states();
@@ -20,13 +20,13 @@ Annotation Annotate(const Database& db, const Nfa& query, uint32_t source,
   if (query.has_epsilon()) ann.eps_closure = query.EpsilonClosures();
   ann.delta = CompiledDelta(query, ann.eps_closure);  // closures shared
 
-  if (source >= db.num_vertices() || target >= db.num_vertices() ||
+  if (source >= snap.num_vertices() || target >= snap.num_vertices() ||
       query.num_states() == 0 || query.initial().None())
     return ann;
 
-  const LabelIndex& adj = db.label_index();
+  const LabelIndex& adj = snap.label_index();
   const CompiledDelta& delta = ann.delta;
-  const uint32_t num_vertices = db.num_vertices();
+  const uint32_t num_vertices = snap.num_vertices();
   const uint32_t wps = ann.words_per_set();
 
   // seen: flat V x |Q| bit matrix of product pairs already assigned a

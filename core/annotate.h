@@ -107,7 +107,11 @@ struct Annotation {
   }
 };
 
-Annotation Annotate(const Database& db, const Nfa& query, uint32_t source,
+/// Runs the product BFS against a frozen snapshot. The snapshot carries
+/// the label-stratified adjacency built at Freeze() time, so annotation
+/// is a pure read — any number of Annotate calls can run concurrently
+/// against one shared Snapshot.
+Annotation Annotate(const Snapshot& snap, const Nfa& query, uint32_t source,
                     uint32_t target);
 
 }  // namespace dsw

@@ -14,6 +14,17 @@
 // label l", so the per-edge label filtering of the naive adjacency never
 // happens — and the per-(vertex, label) automaton move is computed once
 // and shared across every edge of the group (parallel edges included).
+//
+// Mutation and reads are split by an explicit freeze point: AddVertex/
+// AddEdge grow the edge tables, and Freeze() seals the current contents
+// into an immutable Snapshot that owns the built LabelIndex and the
+// generation stamp. Every read-path structure (Annotation, TrimmedIndex,
+// ResumableIndex, the query engine) is constructed from a Snapshot, so
+// nothing on the read path ever builds anything lazily — any number of
+// threads can share one Snapshot with no synchronization at all. A
+// mutation after Freeze() starts the next generation: old snapshots (and
+// the indexes built from them) keep the loud generation assert instead
+// of silently serving stale spans.
 
 #ifndef DSW_CORE_DATABASE_H_
 #define DSW_CORE_DATABASE_H_
@@ -22,6 +33,7 @@
 #include <cassert>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <span>
 #include <string>
 #include <string_view>
@@ -125,11 +137,12 @@ class LabelIndex {
   std::vector<uint32_t> edge_pos_;  // edge id -> position in targets_
 };
 
+class Snapshot;
+
 class Database {
  public:
   uint32_t AddVertex() {
     out_.emplace_back();
-    index_dirty_ = true;
     ++generation_;
     return static_cast<uint32_t>(out_.size() - 1);
   }
@@ -138,7 +151,6 @@ class Database {
   uint32_t AddVertices(uint32_t n) {
     uint32_t first = num_vertices();
     out_.resize(out_.size() + n);
-    index_dirty_ = true;
     ++generation_;
     return first;
   }
@@ -150,7 +162,6 @@ class Database {
     uint32_t id = static_cast<uint32_t>(edges_.size());
     edges_.push_back(Edge{src, dst, label});
     out_[src].push_back(id);
-    index_dirty_ = true;
     ++generation_;
     return id;
   }
@@ -162,12 +173,12 @@ class Database {
 
   /// Monotonic mutation counter: bumped by every AddVertex/AddVertices/
   /// AddEdge (label interning does not count — it never perturbs the
-  /// adjacency). The snapshot-style index structures (TrimmedIndex,
-  /// ResumableIndex) record it at build time and debug-assert it in
-  /// their accessors: a mutation after label_index()/tgt_idx() silently
-  /// invalidates the spans, positions and rank arrays they hold, and the
-  /// generation check turns that latent use-after-mutate into a loud
-  /// assertion instead of wrong answers.
+  /// adjacency). Freeze() stamps it into the Snapshot, the index
+  /// structures (TrimmedIndex, ResumableIndex) record it at build time,
+  /// and both debug-assert it in their accessors: a mutation after
+  /// Freeze() silently invalidates the spans, positions and rank arrays
+  /// they hold, and the generation check turns that latent
+  /// use-after-mutate into a loud assertion instead of wrong answers.
   uint64_t generation() const { return generation_; }
 
   uint32_t num_vertices() const { return static_cast<uint32_t>(out_.size()); }
@@ -178,26 +189,16 @@ class Database {
   const Edge& edge(uint32_t id) const { return edges_[id]; }
   uint32_t src(uint32_t id) const { return edges_[id].src; }
   uint32_t dst(uint32_t id) const { return edges_[id].dst; }
-  /// Rank of edge \p id in the label-stratified target pool (the
-  /// (src, label, insertion) order; see LabelIndex::PositionOf) — the
-  /// candidate-queue seek key of the memoryless pipeline. Triggers the
-  /// lazy index rebuild like label_index().
-  uint32_t tgt_idx(uint32_t id) const {
-    return label_index().PositionOf(id);
-  }
   const std::vector<uint32_t>& OutEdges(uint32_t v) const { return out_[v]; }
 
-  /// The label-stratified adjacency, rebuilt lazily after mutations.
-  /// The first call after an AddVertex/AddEdge performs the O(|E| log d)
-  /// rebuild and is not thread-safe; call it once (or keep the database
-  /// immutable) before sharing across concurrent queries.
-  const LabelIndex& label_index() const {
-    if (index_dirty_) {
-      BuildLabelIndex();
-      index_dirty_ = false;
-    }
-    return label_index_;
-  }
+  /// Seals the current contents into an immutable Snapshot: builds the
+  /// label-stratified adjacency (O(|E| log d), reusing the build when
+  /// nothing mutated since the last freeze) and stamps the generation.
+  /// Deliberately non-const — building the index is a mutation-path
+  /// operation, so it can never race with the read path; the returned
+  /// Snapshot (and copies of it) can then be shared across any number
+  /// of reader threads with no synchronization. Defined after Snapshot.
+  Snapshot Freeze();
 
   LabelDictionary& labels() { return labels_; }
   const LabelDictionary& labels() const { return labels_; }
@@ -209,8 +210,7 @@ class Database {
   LabelDictionary* mutable_dict() { return &labels_; }
 
  private:
-  void BuildLabelIndex() const {
-    LabelIndex& ix = label_index_;
+  void BuildLabelIndex(LabelIndex& ix) const {
     uint32_t v_count = num_vertices();
     ix.group_offsets_.assign(v_count + 1, 0);
     ix.groups_.clear();
@@ -244,10 +244,110 @@ class Database {
   std::vector<Edge> edges_;
   std::vector<std::vector<uint32_t>> out_;  // vertex -> edge ids
   LabelDictionary labels_;
-  mutable LabelIndex label_index_;
-  mutable bool index_dirty_ = true;
+  // The index built by the last Freeze() and the generation it captured;
+  // shared with every Snapshot handed out, so re-freezing an unchanged
+  // database is O(1) and old snapshots stay valid storage-wise even
+  // after a rebuild (their generation assert governs *semantic*
+  // validity).
+  std::shared_ptr<const LabelIndex> frozen_index_;
+  uint64_t frozen_generation_ = UINT64_MAX;  // != any real generation
   uint64_t generation_ = 0;
 };
+
+/// Immutable view of a Database as of one Freeze(): shares ownership of
+/// the built LabelIndex and carries the generation stamp. Copying is
+/// cheap (one shared_ptr); every member is const, so a Snapshot (and the
+/// Annotation/TrimmedIndex/ResumableIndex built from it) can be read
+/// from any number of threads concurrently — the read path performs no
+/// lazy work whatsoever. The Database must outlive every snapshot of it
+/// (the snapshot reads the edge tables through a back-pointer), and
+/// mutating it retires them: debug builds assert on the next access,
+/// mirroring TrimmedIndex::AssertFresh.
+class Snapshot {
+ public:
+  /// Null snapshot (tests false); assign a real one from Freeze().
+  Snapshot() = default;
+
+  explicit operator bool() const { return db_ != nullptr; }
+
+  /// Generation of the Database when this snapshot was frozen — the
+  /// version key of the concurrent engine's session table.
+  uint64_t generation() const { return generation_; }
+
+  /// True iff the Database has not mutated since this freeze.
+  bool fresh() const { return db_ != nullptr && db_->generation() == generation_; }
+
+  /// Debug-only staleness check, same contract as
+  /// TrimmedIndex::AssertFresh: compiled away under NDEBUG.
+  void AssertFresh() const {
+    assert(fresh() &&
+           "stale Snapshot: the Database was mutated after Freeze()");
+  }
+
+  /// The underlying database. Prefer the forwarding accessors below —
+  /// they carry the staleness assert.
+  const Database& db() const { return *db_; }
+
+  /// The label-stratified adjacency, built at freeze time. Plain const
+  /// read; safe to share across threads.
+  const LabelIndex& label_index() const {
+    AssertFresh();
+    return *index_;
+  }
+
+  /// Rank of edge \p id in the label-stratified target pool (the
+  /// (src, label, insertion) order; see LabelIndex::PositionOf) — the
+  /// candidate-queue seek key of the memoryless pipeline.
+  uint32_t tgt_idx(uint32_t id) const { return label_index().PositionOf(id); }
+
+  uint32_t num_vertices() const {
+    AssertFresh();
+    return db_->num_vertices();
+  }
+  size_t num_edges() const {
+    AssertFresh();
+    return db_->num_edges();
+  }
+  /// |D| = |V| + |E|, as in the paper's complexity statements.
+  size_t size() const {
+    AssertFresh();
+    return db_->size();
+  }
+  const Edge& edge(uint32_t id) const {
+    AssertFresh();
+    return db_->edge(id);
+  }
+  uint32_t src(uint32_t id) const { return edge(id).src; }
+  uint32_t dst(uint32_t id) const { return edge(id).dst; }
+  const std::vector<uint32_t>& OutEdges(uint32_t v) const {
+    AssertFresh();
+    return db_->OutEdges(v);
+  }
+  const LabelDictionary& labels() const {
+    AssertFresh();
+    return db_->labels();
+  }
+
+ private:
+  friend class Database;
+  Snapshot(const Database* db, std::shared_ptr<const LabelIndex> index,
+           uint64_t generation)
+      : db_(db), index_(std::move(index)), generation_(generation) {}
+
+  const Database* db_ = nullptr;
+  std::shared_ptr<const LabelIndex> index_;
+  uint64_t generation_ = 0;
+};
+
+inline Snapshot Database::Freeze() {
+  if (!frozen_index_ || frozen_generation_ != generation_) {
+    auto ix = std::make_shared<LabelIndex>();
+    BuildLabelIndex(*ix);
+    frozen_index_ = std::move(ix);
+    frozen_generation_ = generation_;
+  }
+  return Snapshot(this, frozen_index_, generation_);
+}
 
 }  // namespace dsw
 

@@ -4,8 +4,7 @@
 
 namespace dsw {
 
-TrimmedEnumerator::TrimmedEnumerator(const Database& db,
-                                     const Annotation& ann,
+TrimmedEnumerator::TrimmedEnumerator(const Annotation& ann,
                                      const TrimmedIndex& index,
                                      uint32_t source, uint32_t target)
     : index_(&index),
@@ -15,10 +14,9 @@ TrimmedEnumerator::TrimmedEnumerator(const Database& db,
   // The endpoints are baked into the annotation and index; the
   // parameters exist for symmetry with the rest of the pipeline and a
   // mismatch is a caller bug, not a valid different query. The database
-  // itself is no longer consulted: candidate edges denormalize their
+  // itself is not consulted: candidate edges denormalize their
   // destination vertex.
   assert(source == ann.source && target == ann.target);
-  (void)db;
   (void)source;
   (void)target;
   if (!ann.reachable() || index.empty()) return;

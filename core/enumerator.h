@@ -85,10 +85,12 @@ class TrimmedEnumerator {
   };
 
   /// The annotation and index must outlive the enumerator; \p source and
-  /// \p target must match the ones the annotation was built from.
-  TrimmedEnumerator(const Database& db, const Annotation& ann,
-                    const TrimmedIndex& index, uint32_t source,
-                    uint32_t target);
+  /// \p target must match the ones the annotation was built from. The
+  /// database is not consulted at all — candidate edges denormalize
+  /// everything — so any number of enumerators can run concurrently over
+  /// one shared (annotation, index) pair.
+  TrimmedEnumerator(const Annotation& ann, const TrimmedIndex& index,
+                    uint32_t source, uint32_t target);
 
   /// True while positioned on an answer.
   bool Valid() const { return valid_; }

@@ -6,8 +6,7 @@
 
 namespace dsw {
 
-ResumableEnumerator::ResumableEnumerator(const Database& db,
-                                         const Annotation& ann,
+ResumableEnumerator::ResumableEnumerator(const Annotation& ann,
                                          const ResumableIndex& index,
                                          uint32_t source, uint32_t target)
     : index_(&index),
@@ -19,7 +18,6 @@ ResumableEnumerator::ResumableEnumerator(const Database& db,
   // annotation; a mismatch is a caller bug. The database is not
   // consulted — the index denormalizes everything.
   assert(source == ann.source && target == ann.target);
-  (void)db;
   (void)target;
   if (!ann.reachable() || index.empty()) return;
   StateSetView r0 = index.trimmed().Useful(0, ann.source);
@@ -29,6 +27,13 @@ ResumableEnumerator::ResumableEnumerator(const Database& db,
 
   stack_.resize(static_cast<size_t>(lambda_) + 1);
   for (Frame& f : stack_) f.states = StateSet(ann.num_states);
+  Rewind();
+}
+
+void ResumableEnumerator::Rewind() {
+  valid_ = false;
+  walk_.edges.clear();
+  if (!has_answers_) return;
   stack_[0].vertex = source_;
   stack_[0].states.Assign(r0_);
   depth_ = 0;

@@ -53,10 +53,18 @@ class ResumableEnumerator {
 
   /// The annotation and index must outlive the enumerator; \p source
   /// and \p target must match the annotation's. Positions on the first
-  /// answer, like TrimmedEnumerator.
-  ResumableEnumerator(const Database& db, const Annotation& ann,
-                      const ResumableIndex& index, uint32_t source,
-                      uint32_t target);
+  /// answer, like TrimmedEnumerator. The database is not consulted —
+  /// the index denormalizes everything — so any number of enumerators
+  /// can run concurrently over one shared (annotation, index) pair.
+  ResumableEnumerator(const Annotation& ann, const ResumableIndex& index,
+                      uint32_t source, uint32_t target);
+
+  /// Repositions on the first answer, exactly as if freshly
+  /// constructed (stats are kept). Lets a long-lived worker reuse one
+  /// enumerator across many jobs against the same prepared query
+  /// instead of reconstructing: Rewind() for a fresh enumeration,
+  /// SeekAfter() to resume a parked session.
+  void Rewind();
 
   /// True while positioned on an answer.
   bool Valid() const { return valid_; }

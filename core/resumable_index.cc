@@ -2,13 +2,13 @@
 
 namespace dsw {
 
-ResumableIndex::ResumableIndex(const Database& db, const Annotation& ann)
-    : trimmed_(db, ann) {
+ResumableIndex::ResumableIndex(const Snapshot& snap, const Annotation& ann)
+    : trimmed_(snap, ann) {
   if (!ann.reachable() || trimmed_.empty()) return;
   const uint32_t lambda = static_cast<uint32_t>(ann.lambda);
-  const LabelIndex& adj = db.label_index();
+  const LabelIndex& adj = snap.label_index();
 
-  edge_tgt_.resize(db.num_edges());
+  edge_tgt_.resize(snap.num_edges());
   for (uint32_t e = 0; e < edge_tgt_.size(); ++e)
     edge_tgt_[e] = adj.PositionOf(e);
 
@@ -72,9 +72,9 @@ ResumableIndex::ResumableIndex(const Database& db, const Annotation& ann)
   }
 
   // CSR of "slots of vertex v" for the per-pair SlotOf lookup.
-  vertex_slot_off_.assign(db.num_vertices() + 1, 0);
+  vertex_slot_off_.assign(snap.num_vertices() + 1, 0);
   for (uint32_t s = 0; s < n; ++s) ++vertex_slot_off_[vertex_[s] + 1];
-  for (uint32_t v = 0; v < db.num_vertices(); ++v)
+  for (uint32_t v = 0; v < snap.num_vertices(); ++v)
     vertex_slot_off_[v + 1] += vertex_slot_off_[v];
   vertex_slots_.resize(n);
   std::vector<uint32_t> cursor(vertex_slot_off_.begin(),

@@ -61,11 +61,12 @@ class ResumableIndex {
   };
 
   /// Builds the trimmed structure (one backward sweep) and the sorted
-  /// queues + rank arrays on top. Release builds never consult \p db
-  /// after construction; debug builds keep a back-pointer for the
-  /// stale-snapshot assertion (TrimmedIndex::AssertFresh), so there the
-  /// database must outlive the index.
-  ResumableIndex(const Database& db, const Annotation& ann);
+  /// queues + rank arrays on top; a pure read of the snapshot, safe to
+  /// run concurrently with other readers. Release builds never consult
+  /// the database after construction; debug builds keep a back-pointer
+  /// for the stale-snapshot assertion (TrimmedIndex::AssertFresh), so
+  /// there the database must outlive the index.
+  ResumableIndex(const Snapshot& snap, const Annotation& ann);
 
   /// The underlying trimmed structure (useful sets, lambda, etc.).
   const TrimmedIndex& trimmed() const { return trimmed_; }

@@ -2,9 +2,9 @@
 
 namespace dsw {
 
-TrimmedIndex::TrimmedIndex(const Database& db, const Annotation& ann) {
-  db_ = &db;
-  generation_ = db.generation();
+TrimmedIndex::TrimmedIndex(const Snapshot& snap, const Annotation& ann) {
+  db_ = &snap.db();
+  generation_ = snap.generation();
   if (!ann.reachable()) return;
   const uint32_t lambda = static_cast<uint32_t>(ann.lambda);
   wps_ = ann.words_per_set();
@@ -36,7 +36,7 @@ TrimmedIndex::TrimmedIndex(const Database& db, const Annotation& ann) {
   //   edge_q = (union over q' in useful(i+1, dst) of rev-delta[l][q'])
   //            AND annotated(v, i)
   // and shared across parallel edges with the same destination.
-  const LabelIndex& adj = db.label_index();
+  const LabelIndex& adj = snap.label_index();
   const CompiledDelta& delta = ann.delta;
   StateSet useful_here(ann.num_states);
   StateSet edge_q(ann.num_states);

@@ -141,7 +141,11 @@ class TrimmedIndex {
     }
   };
 
-  TrimmedIndex(const Database& db, const Annotation& ann);
+  /// Builds the trimmed structure from a frozen snapshot (one backward
+  /// sweep over the annotation); a pure read of the snapshot, safe to
+  /// run concurrently with other readers. The snapshot's generation is
+  /// recorded for the AssertFresh staleness check.
+  TrimmedIndex(const Snapshot& snap, const Annotation& ann);
 
   /// Number of useful (v, q, level) triples; 0 iff no answer exists.
   size_t num_slots() const { return num_slots_; }

@@ -1,0 +1,239 @@
+#include "engine/engine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+#include <utility>
+
+#include "core/resumable_enumerator.h"
+
+namespace dsw {
+
+// Holds the shared_ptr alongside the enumerator: a cached enumerator
+// must never outlive its prepared query, even after the engine's own
+// query table dropped it.
+struct QueryEngine::WorkerCache {
+  struct Entry {
+    std::shared_ptr<const PreparedQuery> query;
+    std::unique_ptr<ResumableEnumerator> en;
+  };
+  std::unordered_map<const PreparedQuery*, Entry> entries;
+
+  ResumableEnumerator& Get(const std::shared_ptr<const PreparedQuery>& q) {
+    Entry& e = entries[q.get()];
+    if (!e.en) {
+      e.query = q;
+      e.en = std::make_unique<ResumableEnumerator>(q->ann, q->index,
+                                                   q->source, q->target);
+    }
+    return *e.en;
+  }
+
+  // Retired queries never run again; drop their enumerators so a
+  // long-lived engine does not accumulate one per old generation.
+  void EvictOtherGenerations(const Database* db, uint64_t gen) {
+    for (auto it = entries.begin(); it != entries.end();) {
+      const Snapshot& s = it->second.query->snap;
+      if (&s.db() != db || s.generation() != gen)
+        it = entries.erase(it);
+      else
+        ++it;
+    }
+  }
+};
+
+QueryEngine::QueryEngine(uint32_t num_threads) {
+  if (num_threads == 0) num_threads = 1;
+  workers_.reserve(num_threads);
+  for (uint32_t i = 0; i < num_threads; ++i)
+    workers_.emplace_back([this] { WorkerLoop(); });
+}
+
+QueryEngine::~QueryEngine() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+  // Fail pending pumps instead of leaving their futures hanging.
+  for (Job& job : queue_)
+    job.promise.set_value(PumpResult{PumpStatus::kRetired, {}});
+}
+
+void QueryEngine::InstallSnapshot(Snapshot snap) {
+  assert(static_cast<bool>(snap) && "InstallSnapshot: null snapshot");
+  std::lock_guard<std::mutex> lock(mu_);
+  installed_db_ = &snap.db();
+  installed_gen_ = snap.generation();
+  snapshot_ = std::move(snap);
+  // Sessions pinned to older generations are retired lazily, at their
+  // next pump — nothing to do here; the (db, generation) compare in the
+  // worker is the whole mechanism.
+}
+
+QueryId QueryEngine::Prepare(const Nfa& query, uint32_t source,
+                             uint32_t target) {
+  Snapshot snap;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    assert(static_cast<bool>(snapshot_) &&
+           "Prepare: no snapshot installed");
+    snap = snapshot_;
+  }
+  // The expensive build (annotate + trim + queue construction) runs
+  // outside the lock: Prepare from several threads proceeds in
+  // parallel, all against the same frozen snapshot.
+  auto prepared =
+      std::make_shared<const PreparedQuery>(std::move(snap), query, source,
+                                            target);
+  std::lock_guard<std::mutex> lock(mu_);
+  queries_.push_back(std::move(prepared));
+  return static_cast<QueryId>(queries_.size() - 1);
+}
+
+SessionId QueryEngine::OpenSession(QueryId query) {
+  std::lock_guard<std::mutex> lock(mu_);
+  assert(query < queries_.size() && "OpenSession: unknown query");
+  Session s;
+  s.query = queries_[query];
+  sessions_.push_back(std::move(s));
+  return static_cast<SessionId>(sessions_.size() - 1);
+}
+
+std::future<PumpResult> QueryEngine::PumpAsync(SessionId session,
+                                               uint32_t max_answers) {
+  std::promise<PumpResult> promise;
+  std::future<PumpResult> future = promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    assert(session < sessions_.size() && "PumpAsync: unknown session");
+    Session& s = sessions_[session];
+    switch (s.state) {
+      case SessionState::kQueued:
+        promise.set_value(PumpResult{PumpStatus::kBusy, {}});
+        return future;
+      case SessionState::kExhausted:
+        promise.set_value(PumpResult{PumpStatus::kExhausted, {}});
+        return future;
+      case SessionState::kRetired:
+        promise.set_value(PumpResult{PumpStatus::kRetired, {}});
+        return future;
+      case SessionState::kParked:
+        break;
+    }
+    s.state = SessionState::kQueued;
+    queue_.push_back(Job{session, std::max(max_answers, 1u),
+                         std::move(promise),
+                         std::chrono::steady_clock::now()});
+  }
+  cv_.notify_one();
+  return future;
+}
+
+PumpResult QueryEngine::Pump(SessionId session, uint32_t max_answers) {
+  return PumpAsync(session, max_answers).get();
+}
+
+PumpResult QueryEngine::Drain(SessionId session, uint32_t batch) {
+  PumpResult all;
+  for (;;) {
+    PumpResult r = Pump(session, batch);
+    all.status = r.status;
+    all.walks.insert(all.walks.end(),
+                     std::make_move_iterator(r.walks.begin()),
+                     std::make_move_iterator(r.walks.end()));
+    if (r.status != PumpStatus::kOk) return all;
+  }
+}
+
+std::vector<int64_t> QueryEngine::FirstAnswerLatenciesNs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return first_answer_ns_;
+}
+
+PumpResult QueryEngine::RunBatch(
+    WorkerCache& cache, const std::shared_ptr<const PreparedQuery>& query,
+    const Walk& last, bool started, uint32_t max_answers,
+    std::chrono::steady_clock::time_point enqueued,
+    int64_t* first_answer_ns) {
+  PumpResult result;
+  *first_answer_ns = -1;
+  ResumableEnumerator& en = cache.Get(query);
+  if (!started) {
+    en.Rewind();
+  } else if (!en.SeekAfter(last)) {
+    // last was emitted by this very pipeline, so SeekAfter can only
+    // reject it if the session state was corrupted externally.
+    assert(false && "RunBatch: parked walk is not an answer");
+    result.status = PumpStatus::kExhausted;
+    return result;
+  }
+  if (en.Valid())
+    *first_answer_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           std::chrono::steady_clock::now() - enqueued)
+                           .count();
+  while (en.Valid() && result.walks.size() < max_answers) {
+    result.walks.push_back(en.walk());
+    if (result.walks.size() < max_answers) en.Next();
+  }
+  // The batch parks ON its last answer (Next() is deferred to the next
+  // pump's SeekAfter), so kOk promises nothing about further answers —
+  // only that enumeration has not provably ended.
+  result.status = en.Valid() && !result.walks.empty() ? PumpStatus::kOk
+                                                      : PumpStatus::kExhausted;
+  return result;
+}
+
+void QueryEngine::WorkerLoop() {
+  WorkerCache cache;
+  for (;;) {
+    Job job;
+    std::shared_ptr<const PreparedQuery> query;
+    Walk last;
+    bool started = false;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_) return;  // ~QueryEngine fails whatever is still queued
+      job = std::move(queue_.front());
+      queue_.pop_front();
+
+      Session& s = sessions_[job.session];
+      const Snapshot& pinned = s.query->snap;
+      if (&pinned.db() != installed_db_ ||
+          pinned.generation() != installed_gen_) {
+        // Graceful rejection: the stale index is never touched.
+        s.state = SessionState::kRetired;
+        const Database* live_db = installed_db_;
+        uint64_t live_gen = installed_gen_;
+        lock.unlock();
+        cache.EvictOtherGenerations(live_db, live_gen);
+        job.promise.set_value(PumpResult{PumpStatus::kRetired, {}});
+        continue;
+      }
+      query = s.query;
+      last = s.last;
+      started = s.started;
+    }
+
+    int64_t first_ns = -1;
+    PumpResult result = RunBatch(cache, query, last, started,
+                                 job.max_answers, job.enqueued, &first_ns);
+
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      Session& s = sessions_[job.session];
+      if (!result.walks.empty()) {
+        s.last = result.walks.back();
+        s.started = true;
+      }
+      s.state = result.status == PumpStatus::kOk ? SessionState::kParked
+                                                 : SessionState::kExhausted;
+      if (first_ns >= 0) first_answer_ns_.push_back(first_ns);
+    }
+    job.promise.set_value(std::move(result));
+  }
+}
+
+}  // namespace dsw

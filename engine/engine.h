@@ -1,0 +1,185 @@
+// Concurrent query engine over immutable snapshots.
+//
+// The single-writer/many-reader split of core/database.h made the whole
+// read path (Annotation, TrimmedIndex, ResumableIndex, the enumerators)
+// free of lazy work; this engine is the scheduling layer on top:
+//
+//  - InstallSnapshot() publishes the Snapshot queries run against; the
+//    control thread owns mutation and freezing, workers only ever see
+//    sealed snapshots.
+//  - Prepare() builds a query's Annotation + ResumableIndex exactly once
+//    against the installed snapshot; the prepared structure is shared
+//    (read-only) by every session and every worker thread.
+//  - OpenSession()/Pump() run enumeration in batches on the worker
+//    pool. A session is a *parked memoryless cursor*: between pumps the
+//    engine stores only (prepared query, last answer) — Theorem 18's
+//    SeekAfter recomputes the position from the last answer alone, so a
+//    session can resume on ANY worker thread, not just the one that
+//    produced the previous batch.
+//  - Installing a new snapshot retires the sessions (and prepared
+//    queries) pinned to an older generation: their next pump returns
+//    PumpStatus::kRetired without touching the stale index — the loud
+//    generation assert stays as the misuse backstop, the engine's
+//    version check is the graceful path.
+//
+// Workers keep a small per-thread cache of ResumableEnumerators keyed by
+// prepared query, so steady-state pumping allocates nothing: a fresh
+// session Rewind()s the cached enumerator, a parked one SeekAfter()s.
+//
+// Thread-safety: every public method is safe to call from any thread.
+// The Database itself must only be mutated while no Prepare/Pump runs
+// against its current snapshot (mutate, Freeze(), InstallSnapshot() is
+// the intended sequence, all on the control thread).
+
+#ifndef DSW_ENGINE_ENGINE_H_
+#define DSW_ENGINE_ENGINE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/annotate.h"
+#include "core/database.h"
+#include "core/nfa.h"
+#include "core/resumable_index.h"
+#include "core/walk.h"
+
+namespace dsw {
+
+using QueryId = uint32_t;
+using SessionId = uint32_t;
+
+enum class PumpStatus : uint8_t {
+  kOk,         // batch filled; more answers may remain
+  kExhausted,  // enumeration complete (this batch may still hold walks)
+  kRetired,    // pinned to a retired snapshot generation; no walks
+  kBusy,       // a pump for this session is already in flight
+};
+
+struct PumpResult {
+  PumpStatus status = PumpStatus::kOk;
+  std::vector<Walk> walks;
+};
+
+class QueryEngine {
+ public:
+  /// Starts \p num_threads workers (>= 1 enforced).
+  explicit QueryEngine(uint32_t num_threads);
+  ~QueryEngine();
+
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
+
+  /// Publishes the snapshot subsequent Prepare() calls build against.
+  /// Sessions and prepared queries of any older install are retired:
+  /// their next pump returns PumpStatus::kRetired.
+  void InstallSnapshot(Snapshot snap);
+
+  /// Builds Annotation + ResumableIndex for (query, source, target)
+  /// against the installed snapshot, once, on the calling thread.
+  /// Requires a snapshot to be installed.
+  QueryId Prepare(const Nfa& query, uint32_t source, uint32_t target);
+
+  /// Opens a parked cursor over a prepared query. Cheap; many sessions
+  /// may share one prepared query.
+  SessionId OpenSession(QueryId query);
+
+  /// Schedules up to \p max_answers further answers for \p session on
+  /// the worker pool. At most one pump per session may be in flight
+  /// (kBusy otherwise). The future's PumpResult holds the batch; the
+  /// session re-parks on its last answer when the batch fills.
+  std::future<PumpResult> PumpAsync(SessionId session, uint32_t max_answers);
+
+  /// Blocking convenience wrapper around PumpAsync.
+  PumpResult Pump(SessionId session, uint32_t max_answers);
+
+  /// Pumps \p session in batches of \p batch until exhausted (or
+  /// retired); returns everything collected with the final status.
+  PumpResult Drain(SessionId session, uint32_t batch = 64);
+
+  /// Nanoseconds from pump enqueue to the batch's first answer being
+  /// available, one sample per non-empty batch — the engine's
+  /// first-answer latency distribution (p99 is the bench headline).
+  std::vector<int64_t> FirstAnswerLatenciesNs() const;
+
+  uint32_t num_threads() const {
+    return static_cast<uint32_t>(workers_.size());
+  }
+
+ private:
+  // Everything a query needs at run time, built once and then strictly
+  // read-only — the snapshot copy keeps the frozen LabelIndex alive and
+  // carries the generation this query is pinned to.
+  struct PreparedQuery {
+    PreparedQuery(Snapshot s, const Nfa& query, uint32_t src, uint32_t tgt)
+        : snap(std::move(s)),
+          ann(Annotate(snap, query, src, tgt)),
+          index(snap, ann),
+          source(src),
+          target(tgt) {}
+    Snapshot snap;
+    Annotation ann;
+    ResumableIndex index;
+    uint32_t source;
+    uint32_t target;
+  };
+
+  enum class SessionState : uint8_t { kParked, kQueued, kExhausted, kRetired };
+
+  struct Session {
+    std::shared_ptr<const PreparedQuery> query;
+    Walk last;                  // the parked cursor: last emitted answer
+    bool started = false;       // false until the first batch ran
+    SessionState state = SessionState::kParked;
+  };
+
+  struct Job {
+    SessionId session = 0;
+    uint32_t max_answers = 0;
+    std::promise<PumpResult> promise;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  // Per-worker enumerator cache (defined in engine.cc): one
+  // ResumableEnumerator per prepared query per worker, reused across
+  // batches so steady-state pumping performs no allocation.
+  struct WorkerCache;
+
+  void WorkerLoop();
+  // Runs one batch against the prepared query, entirely outside the
+  // engine lock (the prepared structures are read-only). Writes the
+  // enqueue-to-first-answer latency into *first_answer_ns (-1 when the
+  // batch produced nothing).
+  PumpResult RunBatch(WorkerCache& cache,
+                      const std::shared_ptr<const PreparedQuery>& query,
+                      const Walk& last, bool started, uint32_t max_answers,
+                      std::chrono::steady_clock::time_point enqueued,
+                      int64_t* first_answer_ns);
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::deque<Job> queue_;
+
+  // The installed snapshot and its identity; (db, generation) pairs are
+  // compared so generations of different Database objects never alias.
+  Snapshot snapshot_;
+  const Database* installed_db_ = nullptr;
+  uint64_t installed_gen_ = 0;
+
+  std::vector<std::shared_ptr<const PreparedQuery>> queries_;
+  std::vector<Session> sessions_;
+  std::vector<int64_t> first_answer_ns_;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace dsw
+
+#endif  // DSW_ENGINE_ENGINE_H_

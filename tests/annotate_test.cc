@@ -14,12 +14,13 @@
 namespace dsw {
 namespace {
 
-size_t CountAnswers(const Database& db, const Nfa& query, uint32_t s,
+size_t CountAnswers(Database& db, const Nfa& query, uint32_t s,
                     uint32_t t) {
-  Annotation ann = Annotate(db, query, s, t);
-  TrimmedIndex index(db, ann);
+  Snapshot snap = db.Freeze();
+  Annotation ann = Annotate(snap, query, s, t);
+  TrimmedIndex index(snap, ann);
   size_t n = 0;
-  for (TrimmedEnumerator en(db, ann, index, s, t); en.Valid(); en.Next())
+  for (TrimmedEnumerator en(ann, index, s, t); en.Valid(); en.Next())
     ++n;
   return n;
 }
@@ -29,7 +30,7 @@ TEST(AnnotateTest, LambdaOnAChain) {
   uint32_t v0 = db.AddVertex(), v1 = db.AddVertex(), v2 = db.AddVertex();
   db.AddEdge(v0, "a", v1);
   db.AddEdge(v1, "a", v2);
-  Annotation ann = Annotate(db, StaircaseNfa(1, 1), v0, v2);
+  Annotation ann = Annotate(db.Freeze(), StaircaseNfa(1, 1), v0, v2);
   ASSERT_TRUE(ann.reachable());
   EXPECT_EQ(ann.lambda, 2);
 }
@@ -49,7 +50,7 @@ TEST(AnnotateTest, ShortestAcceptingBeatsShortestPlain) {
   contains_b.AddTransition(0, b, 1);
   contains_b.AddTransition(1, a, 1);
   contains_b.AddTransition(1, b, 1);
-  Annotation ann = Annotate(db, contains_b, s, t);
+  Annotation ann = Annotate(db.Freeze(), contains_b, s, t);
   ASSERT_TRUE(ann.reachable());
   EXPECT_EQ(ann.lambda, 2);
 }
@@ -58,15 +59,15 @@ TEST(AnnotateTest, UnreachableTargetYieldsEmptyEnumeration) {
   Database db;
   uint32_t s = db.AddVertex();
   uint32_t t = db.AddVertex();  // no edges at all
-  Annotation ann = Annotate(db, StaircaseNfa(1, 1), s, t);
+  Annotation ann = Annotate(db.Freeze(), StaircaseNfa(1, 1), s, t);
   EXPECT_FALSE(ann.reachable());
   EXPECT_EQ(ann.lambda, -1);
 
-  TrimmedIndex index(db, ann);
+  TrimmedIndex index(db.Freeze(), ann);
   EXPECT_EQ(index.num_slots(), 0u);
   EXPECT_TRUE(index.empty());
 
-  TrimmedEnumerator en(db, ann, index, s, t);
+  TrimmedEnumerator en(ann, index, s, t);
   EXPECT_FALSE(en.Valid());
 }
 
@@ -77,10 +78,10 @@ TEST(AnnotateTest, LabelMismatchIsUnreachableToo) {
   db.labels().Intern("l0");
   uint32_t l1 = db.labels().Intern("l1");
   db.AddEdge(s, l1, t);
-  Annotation ann = Annotate(db, StaircaseNfa(1, 1), s, t);  // only l0
+  Annotation ann = Annotate(db.Freeze(), StaircaseNfa(1, 1), s, t);  // only l0
   EXPECT_FALSE(ann.reachable());
-  TrimmedIndex index(db, ann);
-  TrimmedEnumerator en(db, ann, index, s, t);
+  TrimmedIndex index(db.Freeze(), ann);
+  TrimmedEnumerator en(ann, index, s, t);
   EXPECT_FALSE(en.Valid());
 }
 
@@ -98,12 +99,12 @@ TEST(AnnotateTest, SelfLoopOnShortestWalk) {
   aab.AddTransition(0, a, 1);
   aab.AddTransition(1, a, 2);
   aab.AddTransition(2, b, 3);
-  Annotation ann = Annotate(db, aab, s, t);
+  Annotation ann = Annotate(db.Freeze(), aab, s, t);
   ASSERT_TRUE(ann.reachable());
   EXPECT_EQ(ann.lambda, 3);
 
-  TrimmedIndex index(db, ann);
-  TrimmedEnumerator en(db, ann, index, s, t);
+  TrimmedIndex index(db.Freeze(), ann);
+  TrimmedEnumerator en(ann, index, s, t);
   ASSERT_TRUE(en.Valid());
   EXPECT_EQ(en.walk().edges, (std::vector<uint32_t>{loop, loop, cross}));
   en.Next();
@@ -126,12 +127,12 @@ TEST(AnnotateTest, EmptyWalkWhenSourceIsTargetAndQueryAcceptsEpsilon) {
   db.labels().Intern("l0");
   db.AddEdge(s, 0u, s);  // loop must not produce a second answer
   Nfa query = StaircaseNfa(0, 1);  // accepts every word incl. epsilon
-  Annotation ann = Annotate(db, query, s, s);
+  Annotation ann = Annotate(db.Freeze(), query, s, s);
   ASSERT_TRUE(ann.reachable());
   EXPECT_EQ(ann.lambda, 0);
 
-  TrimmedIndex index(db, ann);
-  TrimmedEnumerator en(db, ann, index, s, s);
+  TrimmedIndex index(db.Freeze(), ann);
+  TrimmedEnumerator en(ann, index, s, s);
   ASSERT_TRUE(en.Valid());
   EXPECT_TRUE(en.walk().edges.empty());
   en.Next();
@@ -150,7 +151,7 @@ TEST(AnnotateTest, EpsilonBeforeFirstLabeledStep) {
   nfa.AddFinal(2);
   nfa.AddEpsilonTransition(0, 1);
   nfa.AddTransition(1, a, 2);
-  Annotation ann = Annotate(db, nfa, s, t);
+  Annotation ann = Annotate(db.Freeze(), nfa, s, t);
   ASSERT_TRUE(ann.reachable());
   EXPECT_EQ(ann.lambda, 1);
   EXPECT_TRUE(ann.has_epsilon());
@@ -169,7 +170,7 @@ TEST(AnnotateTest, EpsilonAfterLastLabeledStep) {
   nfa.AddFinal(2);
   nfa.AddTransition(0, a, 1);
   nfa.AddEpsilonTransition(1, 2);
-  Annotation ann = Annotate(db, nfa, s, t);
+  Annotation ann = Annotate(db.Freeze(), nfa, s, t);
   ASSERT_TRUE(ann.reachable());
   EXPECT_EQ(ann.lambda, 1);
   EXPECT_EQ(CountAnswers(db, nfa, s, t), 1u);
@@ -204,7 +205,7 @@ TEST(AnnotateTest, EpsilonOnlyAcceptanceYieldsTheEmptyWalk) {
   nfa.AddEpsilonTransition(0, 1);
   nfa.AddEpsilonTransition(1, 2);
   nfa.AddTransition(0, 0u, 0);  // the loop label keeps longer walks legal
-  Annotation ann = Annotate(db, nfa, s, s);
+  Annotation ann = Annotate(db.Freeze(), nfa, s, s);
   ASSERT_TRUE(ann.reachable());
   EXPECT_EQ(ann.lambda, 0);
   EXPECT_EQ(CountAnswers(db, nfa, s, s), 1u);
@@ -224,7 +225,7 @@ TEST(AnnotateTest, EpsilonDoesNotShortenBelowTheLabeledDistance) {
   nfa.AddTransition(0, a, 1);
   nfa.AddEpsilonTransition(1, 2);
   nfa.AddTransition(2, a, 3);
-  Annotation ann = Annotate(db, nfa, v0, v2);
+  Annotation ann = Annotate(db.Freeze(), nfa, v0, v2);
   ASSERT_TRUE(ann.reachable());
   EXPECT_EQ(ann.lambda, 2);
 }
@@ -237,10 +238,10 @@ TEST(AnnotateTest, AnnotationSnapshotsTheQuery) {
   Annotation ann;
   {
     Nfa query = StaircaseNfa(1, 1);  // destroyed before use below
-    ann = Annotate(db, query, s, t);
+    ann = Annotate(db.Freeze(), query, s, t);
   }
-  TrimmedIndex index(db, ann);
-  TrimmedEnumerator en(db, ann, index, s, t);
+  TrimmedIndex index(db.Freeze(), ann);
+  TrimmedEnumerator en(ann, index, s, t);
   ASSERT_TRUE(en.Valid());
   en.Next();
   EXPECT_FALSE(en.Valid());

@@ -10,6 +10,7 @@
 #include "core/annotate.h"
 #include "core/database.h"
 #include "core/trimmed_index.h"
+#include "util/state_set.h"
 #include "workload/generators.h"
 #include "workload/queries.h"
 
@@ -84,14 +85,71 @@ TEST(DatabaseTest, GenerationCountsStructuralMutationsOnly) {
   db.AddEdge(0, "l0", 1);
   EXPECT_GT(db.generation(), after_vertices);
 
-  // Label interning and read-only accessors are not mutations: a query
-  // recompiled against a live database must not flag the indexes stale.
+  // Label interning, read-only accessors and freezing are not
+  // mutations: a query recompiled against a live database must not flag
+  // the snapshots stale.
   uint64_t gen = db.generation();
   db.mutable_dict()->Intern("l1");
   db.labels().Find("l0");
-  (void)db.label_index();
-  (void)db.tgt_idx(0);
+  (void)db.Freeze();
   EXPECT_EQ(db.generation(), gen);
+}
+
+TEST(SnapshotTest, FreezeCapturesTheCurrentGeneration) {
+  Database db;
+  db.AddVertices(3);
+  db.AddEdge(0, "l0", 1);
+  Snapshot snap = db.Freeze();
+  EXPECT_TRUE(static_cast<bool>(snap));
+  EXPECT_TRUE(snap.fresh());
+  EXPECT_EQ(snap.generation(), db.generation());
+  EXPECT_EQ(snap.num_vertices(), 3u);
+  EXPECT_EQ(snap.num_edges(), 1u);
+  EXPECT_EQ(snap.tgt_idx(0), snap.label_index().PositionOf(0));
+
+  // A default-constructed snapshot is null and never fresh.
+  Snapshot null_snap;
+  EXPECT_FALSE(static_cast<bool>(null_snap));
+  EXPECT_FALSE(null_snap.fresh());
+}
+
+TEST(SnapshotTest, RefreezeWithoutMutationReusesTheBuiltIndex) {
+  // Freeze() caches the built LabelIndex per generation; re-freezing an
+  // unchanged database is O(1) and shares the same physical index —
+  // the contract the engine relies on when many queries Freeze() the
+  // same database.
+  Database db;
+  db.AddVertices(4);
+  db.AddEdge(0, "l0", 1);
+  db.AddEdge(1, "l0", 2);
+  Snapshot a = db.Freeze();
+  Snapshot b = db.Freeze();
+  const LabelIndex* shared = &b.label_index();
+  EXPECT_EQ(&a.label_index(), shared);
+  EXPECT_EQ(a.generation(), b.generation());
+
+  // A mutation retires both (so their label_index() would assert from
+  // here on) and the next freeze builds a new index.
+  db.AddEdge(2, "l0", 3);
+  EXPECT_FALSE(a.fresh());
+  EXPECT_FALSE(b.fresh());
+  Snapshot c = db.Freeze();
+  EXPECT_TRUE(c.fresh());
+  EXPECT_NE(&c.label_index(), shared);
+  EXPECT_EQ(c.num_edges(), 3u);
+}
+
+TEST(SnapshotTest, OldSnapshotStaysReadableUntilAccessedAfterMutation) {
+  // The shared_ptr keeps the frozen index alive independently of the
+  // database's cache slot, so holding a snapshot across someone else's
+  // Freeze() of the same generation is safe.
+  Database db;
+  db.AddVertices(3);
+  db.AddEdge(0, "l0", 1);
+  Snapshot a = db.Freeze();
+  const LabelIndex* ix = &a.label_index();
+  Snapshot b = db.Freeze();
+  EXPECT_EQ(&b.label_index(), ix);
 }
 
 #if GTEST_HAS_DEATH_TEST && !defined(NDEBUG)
@@ -100,14 +158,37 @@ TEST(DatabaseTest, GenerationCountsStructuralMutationsOnly) {
 // positions that describe the pre-mutation adjacency.
 TEST(DatabaseDeathTest, StaleTrimmedIndexAssertsInDebug) {
   Instance inst = BubbleChain(3, 2);
-  Annotation ann = Annotate(inst.db, StaircaseNfa(1, 2), inst.source,
+  Snapshot snap = inst.db.Freeze();
+  Annotation ann = Annotate(snap, StaircaseNfa(1, 2), inst.source,
                             inst.target);
-  TrimmedIndex index(inst.db, ann);
+  TrimmedIndex index(snap, ann);
   ASSERT_FALSE(index.empty());
   EXPECT_TRUE(static_cast<bool>(index.Useful(0, inst.source)));
   inst.db.AddEdge(inst.source, 0u, inst.target);  // invalidates the index
   EXPECT_DEATH((void)index.Useful(0, inst.source), "stale TrimmedIndex");
   EXPECT_DEATH((void)index.Candidates(0, inst.source), "stale TrimmedIndex");
+}
+
+TEST(DatabaseDeathTest, StaleSnapshotAssertsInDebug) {
+  Database db;
+  db.AddVertices(2);
+  db.AddEdge(0, "l0", 1);
+  Snapshot snap = db.Freeze();
+  (void)snap.label_index();  // fresh: fine
+  db.AddVertex();            // retires the snapshot
+  EXPECT_DEATH((void)snap.label_index(), "stale Snapshot");
+  EXPECT_DEATH((void)snap.OutEdges(0), "stale Snapshot");
+}
+#endif
+
+#if GTEST_HAS_DEATH_TEST && !defined(NDEBUG)
+TEST(StateSetViewDeathTest, NullViewProbesAssertInDebug) {
+  // A null view is the lookup-miss sentinel; probing one is a missed
+  // branch at the call site and must die loudly instead of reading
+  // through nullptr.
+  StateSetView null_view;
+  EXPECT_DEATH((void)null_view.Test(0), "null StateSetView");
+  EXPECT_DEATH(null_view.ForEach([](uint32_t) {}), "null StateSetView");
 }
 #endif
 

@@ -104,12 +104,12 @@ TEST(BListStructureTest, NextUsableMatchesTrialAdvance) {
     cases.push_back({LayeredGraph(params), CompleteNfa(3, 2), "layered"});
   }
 
-  for (const Case& c : cases) {
+  for (Case& c : cases) {
     SCOPED_TRACE(c.what);
-    Annotation ann =
-        Annotate(c.inst.db, c.query, c.inst.source, c.inst.target);
+    Snapshot snap = c.inst.db.Freeze();
+    Annotation ann = Annotate(snap, c.query, c.inst.source, c.inst.target);
     ASSERT_TRUE(ann.reachable());
-    TrimmedIndex index(c.inst.db, ann);
+    TrimmedIndex index(snap, ann);
     const uint32_t wps = index.words_per_set();
     StateSet singleton(ann.num_states);
     StateSet scratch(ann.num_states);
@@ -148,13 +148,14 @@ TEST(BListStructureTest, NextUsableMatchesTrialAdvance) {
 // Worst-case per-output bound, as exact inequalities: between any two
 // outputs the enumerator does at most lambda pushes (each <= |Q| row
 // ORs) and 2 lambda + 1 NextLive calls (each <= |Q| probes).
-void ExpectPerOutputBound(const Instance& inst, const Nfa& query,
+void ExpectPerOutputBound(Instance inst, const Nfa& query,
                           const char* what) {
   SCOPED_TRACE(what);
-  Annotation ann = Annotate(inst.db, query, inst.source, inst.target);
+  Snapshot snap = inst.db.Freeze();
+  Annotation ann = Annotate(snap, query, inst.source, inst.target);
   ASSERT_TRUE(ann.reachable());
-  TrimmedIndex index(inst.db, ann);
-  TrimmedEnumerator en(inst.db, ann, index, inst.source, inst.target);
+  TrimmedIndex index(snap, ann);
+  TrimmedEnumerator en(ann, index, inst.source, inst.target);
   OpDeltas d = DrainCountingOps(en);
   ASSERT_GT(d.outputs, 0u);
   const uint64_t lambda = static_cast<uint64_t>(ann.lambda);
@@ -186,17 +187,17 @@ TEST(DelayBoundTest, DeadFanoutOpsStayFlatWhereTrialFilterDegrades) {
   std::vector<uint64_t> ref_max_ops;
   for (uint32_t d : {4u, 64u, 512u}) {
     Instance inst = DeadFanout(d, kTail);
-    Annotation ann = Annotate(inst.db, query, inst.source, inst.target);
+    Snapshot snap = inst.db.Freeze();
+    Annotation ann = Annotate(snap, query, inst.source, inst.target);
     ASSERT_TRUE(ann.reachable());
-    TrimmedIndex index(inst.db, ann);
+    TrimmedIndex index(snap, ann);
 
-    TrimmedEnumerator en(inst.db, ann, index, inst.source, inst.target);
+    TrimmedEnumerator en(ann, index, inst.source, inst.target);
     OpDeltas ops = DrainCountingOps(en);
     EXPECT_EQ(ops.outputs, d + 1) << "one answer per fanout edge + one";
     max_ops.push_back(ops.MaxTotal());
 
-    TrialFilterEnumerator ref(inst.db, ann, index, inst.source,
-                              inst.target);
+    TrialFilterEnumerator ref(ann, index, inst.source, inst.target);
     uint64_t ref_max = 0;
     uint64_t last = ref.stats().row_ors;
     while (ref.Valid()) {
@@ -227,9 +228,10 @@ TEST(DelayBoundTest, ResumableDeadFanoutOpsStayFlat) {
   std::vector<uint64_t> max_ops;
   for (uint32_t d : {4u, 64u, 512u}) {
     Instance inst = DeadFanout(d, kTail);
-    Annotation ann = Annotate(inst.db, query, inst.source, inst.target);
-    ResumableIndex index(inst.db, ann);
-    ResumableEnumerator en(inst.db, ann, index, inst.source, inst.target);
+    Snapshot snap = inst.db.Freeze();
+    Annotation ann = Annotate(snap, query, inst.source, inst.target);
+    ResumableIndex index(snap, ann);
+    ResumableEnumerator en(ann, index, inst.source, inst.target);
     uint64_t max_total = 0;
     uint64_t last = en.stats().total();
     uint64_t outputs = 0;
@@ -251,23 +253,21 @@ TEST(DelayBoundTest, ResumableDeadFanoutOpsStayFlat) {
 // The refactor must be answer-for-answer invisible: certificate
 // enumerator, pre-change trial-filter enumerator and the memoryless
 // enumerator agree on the full sequence (order included).
-void ExpectIdenticalSequences(const Instance& inst, const Nfa& query,
+void ExpectIdenticalSequences(Instance inst, const Nfa& query,
                               const char* what) {
   SCOPED_TRACE(what);
-  Annotation ann = Annotate(inst.db, query, inst.source, inst.target);
-  TrimmedIndex tindex(inst.db, ann);
-  ResumableIndex rindex(inst.db, ann);
+  Snapshot snap = inst.db.Freeze();
+  Annotation ann = Annotate(snap, query, inst.source, inst.target);
+  TrimmedIndex tindex(snap, ann);
+  ResumableIndex rindex(snap, ann);
 
-  TrialFilterEnumerator ref(inst.db, ann, tindex, inst.source,
-                            inst.target);
+  TrialFilterEnumerator ref(ann, tindex, inst.source, inst.target);
   const WalkSeq expected = Drain(ref);
 
-  TrimmedEnumerator trimmed(inst.db, ann, tindex, inst.source,
-                            inst.target);
+  TrimmedEnumerator trimmed(ann, tindex, inst.source, inst.target);
   EXPECT_EQ(Drain(trimmed), expected);
 
-  ResumableEnumerator resumable(inst.db, ann, rindex, inst.source,
-                                inst.target);
+  ResumableEnumerator resumable(ann, rindex, inst.source, inst.target);
   EXPECT_EQ(Drain(resumable), expected);
 }
 

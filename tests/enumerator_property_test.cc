@@ -20,20 +20,21 @@
 namespace dsw {
 namespace {
 
-void ExpectTrimmedMatchesNaive(const Instance& inst, const Nfa& query,
+void ExpectTrimmedMatchesNaive(Instance& inst, const Nfa& query,
                                const char* what) {
   SCOPED_TRACE(what);
-  NaiveResult naive = NaiveDistinctShortestWalks(inst.db, query, inst.source,
+  Snapshot snap = inst.db.Freeze();
+  NaiveResult naive = NaiveDistinctShortestWalks(snap, query, inst.source,
                                                  inst.target);
   ASSERT_FALSE(naive.budget_exhausted);
 
-  Annotation ann = Annotate(inst.db, query, inst.source, inst.target);
-  TrimmedIndex index(inst.db, ann);
+  Annotation ann = Annotate(snap, query, inst.source, inst.target);
+  TrimmedIndex index(snap, ann);
   EXPECT_EQ(ann.lambda, naive.lambda);
 
   std::set<std::vector<uint32_t>> trimmed_set;
   size_t emitted = 0;
-  for (TrimmedEnumerator en(inst.db, ann, index, inst.source, inst.target);
+  for (TrimmedEnumerator en(ann, index, inst.source, inst.target);
        en.Valid(); en.Next()) {
     ++emitted;
     EXPECT_EQ(en.walk().length(), static_cast<size_t>(ann.lambda));
@@ -85,15 +86,16 @@ TEST(EnumeratorPropertyTest, NaiveCountsDuplicatesTrimmedAvoids) {
   // excess as duplicates while the trimmed enumerator emits 16 walks.
   Instance inst = BubbleChain(4, 2);
   Nfa query = StaircaseNfa(2, 2);
-  NaiveResult naive = NaiveDistinctShortestWalks(inst.db, query, inst.source,
+  Snapshot snap = inst.db.Freeze();
+  NaiveResult naive = NaiveDistinctShortestWalks(snap, query, inst.source,
                                                  inst.target);
   EXPECT_EQ(naive.walks.size(), 16u);
   EXPECT_EQ(naive.duplicates, 16u * 28 - 16u);
 
-  Annotation ann = Annotate(inst.db, query, inst.source, inst.target);
-  TrimmedIndex index(inst.db, ann);
+  Annotation ann = Annotate(snap, query, inst.source, inst.target);
+  TrimmedIndex index(snap, ann);
   size_t emitted = 0;
-  for (TrimmedEnumerator en(inst.db, ann, index, inst.source, inst.target);
+  for (TrimmedEnumerator en(ann, index, inst.source, inst.target);
        en.Valid(); en.Next())
     ++emitted;
   EXPECT_EQ(emitted, 16u);
@@ -102,12 +104,12 @@ TEST(EnumeratorPropertyTest, NaiveCountsDuplicatesTrimmedAvoids) {
 TEST(EnumeratorPropertyTest, NoiseEmbeddingPreservesTheAnswerSet) {
   Instance core = BubbleChain(5, 2);
   Nfa query = StaircaseNfa(1, 2);
-  NaiveResult base = NaiveDistinctShortestWalks(core.db, query, core.source,
-                                                core.target);
+  NaiveResult base = NaiveDistinctShortestWalks(core.db.Freeze(), query,
+                                                core.source, core.target);
   Instance noisy = EmbedInNoise(core, 50, 200, 41);
   ASSERT_GT(noisy.db.size(), core.db.size());
   ExpectTrimmedMatchesNaive(noisy, query, "noisy");
-  NaiveResult after = NaiveDistinctShortestWalks(noisy.db, query,
+  NaiveResult after = NaiveDistinctShortestWalks(noisy.db.Freeze(), query,
                                                  noisy.source, noisy.target);
   EXPECT_EQ(after.walks.size(), base.walks.size());
   EXPECT_EQ(after.lambda, base.lambda);

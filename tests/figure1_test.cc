@@ -29,12 +29,16 @@ std::vector<Walk> Drain(TrimmedEnumerator* en) {
 
 class Figure1Test : public ::testing::Test {
  protected:
+  // Declaration order is initialization order: the snapshot is frozen
+  // before anything downstream of it is built.
   Figure1Test()
       : fig_(MakeFigure1()),
-        ann_(Annotate(fig_.db, fig_.query, fig_.alix, fig_.bob)),
-        index_(fig_.db, ann_) {}
+        snap_(fig_.db.Freeze()),
+        ann_(Annotate(snap_, fig_.query, fig_.alix, fig_.bob)),
+        index_(snap_, ann_) {}
 
   Figure1 fig_;
+  Snapshot snap_;
   Annotation ann_;
   TrimmedIndex index_;
 };
@@ -45,7 +49,7 @@ TEST_F(Figure1Test, LambdaIsTwo) {
 }
 
 TEST_F(Figure1Test, EnumeratesExactlyTheFourAnswers) {
-  TrimmedEnumerator en(fig_.db, ann_, index_, fig_.alix, fig_.bob);
+  TrimmedEnumerator en(ann_, index_, fig_.alix, fig_.bob);
   std::vector<Walk> walks = Drain(&en);
   ASSERT_EQ(walks.size(), Figure1::kNumAnswers);
 
@@ -62,7 +66,7 @@ TEST_F(Figure1Test, EnumeratesExactlyTheFourAnswers) {
 }
 
 TEST_F(Figure1Test, AnswersInNonDecreasingLengthOrder) {
-  TrimmedEnumerator en(fig_.db, ann_, index_, fig_.alix, fig_.bob);
+  TrimmedEnumerator en(ann_, index_, fig_.alix, fig_.bob);
   size_t prev = 0;
   for (const Walk& w : Drain(&en)) {
     EXPECT_GE(w.length(), prev);
@@ -72,7 +76,7 @@ TEST_F(Figure1Test, AnswersInNonDecreasingLengthOrder) {
 }
 
 TEST_F(Figure1Test, EveryAnswerIsLabelConsistentWithTheQuery) {
-  TrimmedEnumerator en(fig_.db, ann_, index_, fig_.alix, fig_.bob);
+  TrimmedEnumerator en(ann_, index_, fig_.alix, fig_.bob);
   for (const Walk& w : Drain(&en)) {
     EXPECT_TRUE(fig_.query.Accepts(w.LabelWord(fig_.db)));
     std::vector<uint32_t> path = w.VertexPath(fig_.db, fig_.alix);
@@ -106,11 +110,11 @@ TEST_F(Figure1Test, RegexFrontEndReproducesTheAnswerSet) {
                   ? ThompsonNfa(*ast.value(), fig_.db.mutable_dict())
                   : GlushkovNfa(*ast.value(), fig_.db.mutable_dict());
     EXPECT_EQ(nfa.has_epsilon(), use_thompson);
-    Annotation ann = Annotate(fig_.db, nfa, fig_.alix, fig_.bob);
+    Annotation ann = Annotate(snap_, nfa, fig_.alix, fig_.bob);
     ASSERT_TRUE(ann.reachable());
     EXPECT_EQ(ann.lambda, Figure1::kLambda);
-    TrimmedIndex index(fig_.db, ann);
-    TrimmedEnumerator en(fig_.db, ann, index, fig_.alix, fig_.bob);
+    TrimmedIndex index(snap_, ann);
+    TrimmedEnumerator en(ann, index, fig_.alix, fig_.bob);
     std::set<std::vector<uint32_t>> got;
     for (const Walk& w : Drain(&en)) got.insert(w.edges);
     EXPECT_EQ(got, expected);
@@ -120,8 +124,8 @@ TEST_F(Figure1Test, RegexFrontEndReproducesTheAnswerSet) {
 }
 
 TEST_F(Figure1Test, EnumeratorIsRestartable) {
-  TrimmedEnumerator first(fig_.db, ann_, index_, fig_.alix, fig_.bob);
-  TrimmedEnumerator second(fig_.db, ann_, index_, fig_.alix, fig_.bob);
+  TrimmedEnumerator first(ann_, index_, fig_.alix, fig_.bob);
+  TrimmedEnumerator second(ann_, index_, fig_.alix, fig_.bob);
   std::vector<Walk> a = Drain(&first);
   std::vector<Walk> b = Drain(&second);
   ASSERT_EQ(a.size(), b.size());

@@ -38,13 +38,14 @@ struct PipelineResult {
   std::set<std::vector<uint32_t>> walks;
 };
 
-PipelineResult RunPipeline(const Instance& inst, const Nfa& nfa) {
+PipelineResult RunPipeline(Instance& inst, const Nfa& nfa) {
   PipelineResult res;
-  Annotation ann = Annotate(inst.db, nfa, inst.source, inst.target);
+  Snapshot snap = inst.db.Freeze();
+  Annotation ann = Annotate(snap, nfa, inst.source, inst.target);
   res.lambda = ann.lambda;
-  TrimmedIndex index(inst.db, ann);
+  TrimmedIndex index(snap, ann);
   size_t emitted = 0;
-  for (TrimmedEnumerator en(inst.db, ann, index, inst.source, inst.target);
+  for (TrimmedEnumerator en(ann, index, inst.source, inst.target);
        en.Valid(); en.Next()) {
     ++emitted;
     EXPECT_TRUE(res.walks.insert(en.walk().edges).second)
@@ -76,7 +77,7 @@ void ExpectFrontEndsAgree(Instance& inst, const std::string& pattern,
   // individual runs, and over an epsilon-NFA every closure member is a
   // distinct run, which blows up exponentially in lambda. (A dedicated
   // small-instance test below covers naive's epsilon-aware path.)
-  NaiveResult naive = NaiveDistinctShortestWalks(inst.db, glushkov,
+  NaiveResult naive = NaiveDistinctShortestWalks(inst.db.Freeze(), glushkov,
                                                  inst.source, inst.target);
   ASSERT_FALSE(naive.budget_exhausted);
   EXPECT_EQ(naive.lambda, via_glushkov.lambda);
@@ -162,7 +163,7 @@ TEST(FrontendEquivalenceTest, NaiveBaselineHandlesEpsilonNfas) {
   ASSERT_TRUE(thompson.has_epsilon());
   PipelineResult trimmed = RunPipeline(inst, thompson);
 
-  NaiveResult naive = NaiveDistinctShortestWalks(inst.db, thompson,
+  NaiveResult naive = NaiveDistinctShortestWalks(inst.db.Freeze(), thompson,
                                                  inst.source, inst.target);
   ASSERT_FALSE(naive.budget_exhausted);
   EXPECT_EQ(naive.lambda, trimmed.lambda);

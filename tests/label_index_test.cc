@@ -1,7 +1,8 @@
-// Unit tests for the label-stratified data layer: the database's CSR
-// LabelIndex (grouping, ordering, lazy rebuild) and the precompiled
-// CompiledDelta transition relation (forward rows with after-side
-// epsilon-closure composition, reverse rows, label/source masks).
+// Unit tests for the label-stratified data layer: the snapshot's CSR
+// LabelIndex (grouping, ordering, rebuild on Freeze after mutation) and
+// the precompiled CompiledDelta transition relation (forward rows with
+// after-side epsilon-closure composition, reverse rows, label/source
+// masks).
 
 #include <gtest/gtest.h>
 
@@ -22,8 +23,9 @@ namespace {
 
 // The CSR must partition each vertex's out-edges into label groups,
 // groups sorted by label id, edges inside a group in insertion order.
-void ExpectIndexMatchesAdjacency(const Database& db) {
-  const LabelIndex& ix = db.label_index();
+void ExpectIndexMatchesAdjacency(Database& db) {
+  Snapshot snap = db.Freeze();
+  const LabelIndex& ix = snap.label_index();
   for (uint32_t v = 0; v < db.num_vertices(); ++v) {
     std::map<uint32_t, std::vector<uint32_t>> expected;  // label -> edges
     for (uint32_t e : db.OutEdges(v)) expected[db.edge(e).label].push_back(e);
@@ -68,7 +70,8 @@ TEST(LabelIndexTest, ParallelEdgesStayAdjacentInInsertionOrder) {
   uint32_t e0 = db.AddEdge(s, b, t);
   uint32_t e1 = db.AddEdge(s, a, t);
   uint32_t e2 = db.AddEdge(s, b, t);  // parallel to e0, same label
-  const LabelIndex& ix = db.label_index();
+  Snapshot snap = db.Freeze();
+  const LabelIndex& ix = snap.label_index();
   auto groups = ix.GroupsOf(s);
   ASSERT_EQ(groups.size(), 2u);
   EXPECT_EQ(groups[0].label, a);
@@ -80,17 +83,19 @@ TEST(LabelIndexTest, ParallelEdgesStayAdjacentInInsertionOrder) {
   EXPECT_EQ(ix.Targets(groups[1])[1].edge, e2);
 }
 
-TEST(LabelIndexTest, RebuildsLazilyAfterMutation) {
+TEST(LabelIndexTest, FreezeAfterMutationSeesTheNewEdges) {
   Database db;
   uint32_t s = db.AddVertex(), t = db.AddVertex();
   db.AddEdge(s, "a", t);
-  EXPECT_EQ(db.label_index().GroupsOf(s).size(), 1u);
+  EXPECT_EQ(db.Freeze().label_index().GroupsOf(s).size(), 1u);
 
-  // Mutations dirty the index; the next access sees the new edges.
+  // Mutations retire the frozen index; the next Freeze() rebuilds and
+  // sees the new edges.
   db.AddEdge(s, "b", t);
   uint32_t u = db.AddVertex();
   db.AddEdge(s, "a", u);
-  const LabelIndex& ix = db.label_index();
+  Snapshot snap = db.Freeze();
+  const LabelIndex& ix = snap.label_index();
   ASSERT_EQ(ix.GroupsOf(s).size(), 2u);
   EXPECT_EQ(ix.Targets(ix.GroupsOf(s)[0]).size(), 2u);  // two a-edges
   EXPECT_TRUE(ix.GroupsOf(u).empty());

@@ -43,25 +43,25 @@ WalkSeq Drain(Enumerator& en) {
 }
 
 // The three properties of the harness header, on one (instance, query).
-void ExpectResumableMatchesStateful(const Instance& inst, const Nfa& query,
+void ExpectResumableMatchesStateful(Instance inst, const Nfa& query,
                                     const char* what) {
   SCOPED_TRACE(what);
-  Annotation ann = Annotate(inst.db, query, inst.source, inst.target);
-  TrimmedIndex tindex(inst.db, ann);
-  ResumableIndex rindex(inst.db, ann);
+  Snapshot snap = inst.db.Freeze();
+  Annotation ann = Annotate(snap, query, inst.source, inst.target);
+  TrimmedIndex tindex(snap, ann);
+  ResumableIndex rindex(snap, ann);
 
-  TrimmedEnumerator ref_en(inst.db, ann, tindex, inst.source, inst.target);
+  TrimmedEnumerator ref_en(ann, tindex, inst.source, inst.target);
   const WalkSeq ref = Drain(ref_en);
 
   // (a) full scan, order included.
-  ResumableEnumerator full(inst.db, ann, rindex, inst.source, inst.target);
+  ResumableEnumerator full(ann, rindex, inst.source, inst.target);
   ASSERT_EQ(Drain(full), ref);
 
   // (a') the memoryless chain — every answer recomputed from its
   // predecessor alone — is the same sequence again.
   if (!ref.empty()) {
-    ResumableEnumerator chain(inst.db, ann, rindex, inst.source,
-                              inst.target);
+    ResumableEnumerator chain(ann, rindex, inst.source, inst.target);
     ASSERT_TRUE(chain.Valid());
     WalkSeq chained{chain.walk().edges};
     Walk prev;
@@ -76,7 +76,7 @@ void ExpectResumableMatchesStateful(const Instance& inst, const Nfa& query,
   // (b) a fresh SeekAfter from every answer yields exactly its suffix;
   // the last answer invalidates cleanly (empty suffix).
   for (size_t k = 0; k < ref.size(); ++k) {
-    ResumableEnumerator en(inst.db, ann, rindex, inst.source, inst.target);
+    ResumableEnumerator en(ann, rindex, inst.source, inst.target);
     Walk w;
     w.edges = ref[k];
     ASSERT_TRUE(en.SeekAfter(w)) << "answer " << k << " rejected";
@@ -162,10 +162,11 @@ TEST(ResumableCrossOracleTest, LambdaZeroEmptyWalk) {
   Nfa query = StaircaseNfa(0, 1);  // accepts every word incl. epsilon
   ExpectResumableMatchesStateful(inst, query, "lambda0");
 
-  Annotation ann = Annotate(inst.db, query, inst.source, inst.target);
+  Snapshot snap = inst.db.Freeze();
+  Annotation ann = Annotate(snap, query, inst.source, inst.target);
   ASSERT_EQ(ann.lambda, 0);
-  ResumableIndex index(inst.db, ann);
-  ResumableEnumerator en(inst.db, ann, index, inst.source, inst.target);
+  ResumableIndex index(snap, ann);
+  ResumableEnumerator en(ann, index, inst.source, inst.target);
   ASSERT_TRUE(en.Valid());
   EXPECT_TRUE(en.walk().edges.empty());
   Walk empty;
@@ -176,11 +177,12 @@ TEST(ResumableCrossOracleTest, LambdaZeroEmptyWalk) {
 TEST(ResumableCrossOracleTest, UnreachableTargetHasNoAnswers) {
   Instance inst = StarOfChains(3, 4, 2);
   Nfa query = AnyKDfa(3, 2);  // wrong length: no accepting walk
-  Annotation ann = Annotate(inst.db, query, inst.source, inst.target);
+  Snapshot snap = inst.db.Freeze();
+  Annotation ann = Annotate(snap, query, inst.source, inst.target);
   ASSERT_FALSE(ann.reachable());
-  ResumableIndex index(inst.db, ann);
+  ResumableIndex index(snap, ann);
   EXPECT_TRUE(index.empty());
-  ResumableEnumerator en(inst.db, ann, index, inst.source, inst.target);
+  ResumableEnumerator en(ann, index, inst.source, inst.target);
   EXPECT_FALSE(en.Valid());
 }
 
@@ -193,9 +195,10 @@ TEST(ResumableCrossOracleTest, UnreachableTargetHasNoAnswers) {
 TEST(ResumableIndexTest, QueueStructureInvariants) {
   Instance inst = EmbedInNoise(StarOfChains(5, 4, 2), 25, 100, 3);
   Nfa query = StaircaseNfa(2, 2);
-  Annotation ann = Annotate(inst.db, query, inst.source, inst.target);
+  Snapshot snap = inst.db.Freeze();
+  Annotation ann = Annotate(snap, query, inst.source, inst.target);
   ASSERT_TRUE(ann.reachable());
-  ResumableIndex index(inst.db, ann);
+  ResumableIndex index(snap, ann);
   const TrimmedIndex& trimmed = index.trimmed();
   ASSERT_EQ(trimmed.num_levels(), static_cast<uint32_t>(ann.lambda) + 1);
   EXPECT_GT(index.num_queues(), 0u);
@@ -215,7 +218,7 @@ TEST(ResumableIndexTest, QueueStructureInvariants) {
       EXPECT_EQ(queue[i].next_pos, ref[i].next_pos);
       EXPECT_EQ(queue[i].dst, inst.db.dst(queue[i].edge));
       EXPECT_EQ(queue[i].label, inst.db.edge(queue[i].edge).label);
-      EXPECT_EQ(queue[i].tgt_idx, inst.db.tgt_idx(queue[i].edge));
+      EXPECT_EQ(queue[i].tgt_idx, snap.tgt_idx(queue[i].edge));
       if (i > 0) {
         EXPECT_LT(queue[i - 1].tgt_idx, queue[i].tgt_idx);
       }
@@ -228,7 +231,7 @@ TEST(ResumableIndexTest, QueueStructureInvariants) {
     for (uint32_t e : inst.db.OutEdges(v)) {
       ASSERT_TRUE(index.SpanContains(s, e));
       uint32_t cur = index.SeekGe(s, e);
-      uint32_t key = inst.db.tgt_idx(e);
+      uint32_t key = snap.tgt_idx(e);
       for (uint32_t c = index.RestartCursor(s); c != cur;
            c = index.Advanced(s, c))
         EXPECT_LT(index.Peek(s, c).tgt_idx, key);
@@ -265,8 +268,9 @@ struct AdversarialFixture {
 
   Instance inst = MakeInstance();
   Nfa query = MakeQuery();
-  Annotation ann = Annotate(inst.db, query, inst.source, inst.target);
-  ResumableIndex index{inst.db, ann};
+  Snapshot snap = inst.db.Freeze();
+  Annotation ann = Annotate(snap, query, inst.source, inst.target);
+  ResumableIndex index{snap, ann};
 
   static Instance MakeInstance() {
     Instance inst;
@@ -303,8 +307,8 @@ struct AdversarialFixture {
 TEST(ResumableAdversarialTest, FixtureAnswersAreSane) {
   AdversarialFixture fx;
   ExpectResumableMatchesStateful(fx.inst, fx.query, "ab-or-ba");
-  TrimmedEnumerator ref(fx.inst.db, fx.ann, fx.index.trimmed(),
-                        fx.inst.source, fx.inst.target);
+  TrimmedEnumerator ref(fx.ann, fx.index.trimmed(), fx.inst.source,
+                        fx.inst.target);
   WalkSeq answers = Drain(ref);
   ASSERT_EQ(answers, (WalkSeq{{fx.e0, fx.e2}, {fx.e1, fx.e3}}));
 }
@@ -317,7 +321,7 @@ TEST(ResumableAdversarialTest, RejectsNonAnswersInRelease) {
   auto expect_rejected = [&](std::vector<uint32_t> edges,
                              const char* what) {
     SCOPED_TRACE(what);
-    ResumableEnumerator en(fx.inst.db, fx.ann, fx.index, fx.inst.source,
+    ResumableEnumerator en(fx.ann, fx.index, fx.inst.source,
                            fx.inst.target);
     Walk w;
     w.edges = std::move(edges);
@@ -335,8 +339,7 @@ TEST(ResumableAdversarialTest, RejectsNonAnswersInRelease) {
 
   // A rejected seek must not wedge the enumerator: a valid SeekAfter
   // right after still works (memorylessness).
-  ResumableEnumerator en(fx.inst.db, fx.ann, fx.index, fx.inst.source,
-                         fx.inst.target);
+  ResumableEnumerator en(fx.ann, fx.index, fx.inst.source, fx.inst.target);
   Walk bad;
   bad.edges = {fx.e0, fx.e3};
   EXPECT_FALSE(en.SeekAfter(bad));
@@ -353,7 +356,7 @@ TEST(ResumableAdversarialTest, RejectsNonAnswersInRelease) {
 TEST(ResumableAdversarialDeathTest, AssertsOnNonAnswersInDebug) {
   AdversarialFixture fx;
   auto seek = [&](std::vector<uint32_t> edges) {
-    ResumableEnumerator en(fx.inst.db, fx.ann, fx.index, fx.inst.source,
+    ResumableEnumerator en(fx.ann, fx.index, fx.inst.source,
                            fx.inst.target);
     Walk w;
     w.edges = std::move(edges);
@@ -380,9 +383,10 @@ TEST(ResumableDelayTest, SeekAfterChainOpsStayFlatInInDegree) {
   for (uint32_t d : {4u, 16u, 64u, 256u}) {
     Instance inst = StarOfChains(d, kDepth, 2);
     Nfa query = StaircaseNfa(1, 2);
-    Annotation ann = Annotate(inst.db, query, inst.source, inst.target);
-    ResumableIndex index(inst.db, ann);
-    ResumableEnumerator en(inst.db, ann, index, inst.source, inst.target);
+    Snapshot snap = inst.db.Freeze();
+    Annotation ann = Annotate(snap, query, inst.source, inst.target);
+    ResumableIndex index(snap, ann);
+    ResumableEnumerator en(ann, index, inst.source, inst.target);
     ASSERT_TRUE(en.Valid());
     Walk prev = en.walk();
     uint64_t outputs = 1;
@@ -412,9 +416,10 @@ TEST(ResumableDelayTest, SingleSeekAfterOpBudget) {
   constexpr uint32_t kDepth = 16;
   Instance inst = StarOfChains(8, kDepth, 2);
   Nfa query = StaircaseNfa(1, 2);
-  Annotation ann = Annotate(inst.db, query, inst.source, inst.target);
-  ResumableIndex index(inst.db, ann);
-  ResumableEnumerator en(inst.db, ann, index, inst.source, inst.target);
+  Snapshot snap = inst.db.Freeze();
+  Annotation ann = Annotate(snap, query, inst.source, inst.target);
+  ResumableIndex index(snap, ann);
+  ResumableEnumerator en(ann, index, inst.source, inst.target);
   ASSERT_TRUE(en.Valid());
   Walk first = en.walk();
   en.ResetStats();

@@ -89,10 +89,10 @@ RefAnnotation RefAnnotate(const Database& db, const Nfa& nfa, uint32_t s,
   return ref;
 }
 
-void ExpectAnnotationMatchesReference(const Instance& inst, const Nfa& nfa,
+void ExpectAnnotationMatchesReference(Instance& inst, const Nfa& nfa,
                                       const char* what) {
   SCOPED_TRACE(what);
-  Annotation ann = Annotate(inst.db, nfa, inst.source, inst.target);
+  Annotation ann = Annotate(inst.db.Freeze(), nfa, inst.source, inst.target);
   RefAnnotation ref = RefAnnotate(inst.db, nfa, inst.source, inst.target);
   ASSERT_EQ(ann.lambda, ref.lambda);
   ASSERT_EQ(ann.levels.size(), ref.levels.size());
@@ -110,13 +110,14 @@ void ExpectAnnotationMatchesReference(const Instance& inst, const Nfa& nfa,
   }
 }
 
-std::set<std::vector<uint32_t>> PipelineAnswers(const Instance& inst,
+std::set<std::vector<uint32_t>> PipelineAnswers(Instance& inst,
                                                 const Nfa& nfa) {
-  Annotation ann = Annotate(inst.db, nfa, inst.source, inst.target);
-  TrimmedIndex index(inst.db, ann);
+  Snapshot snap = inst.db.Freeze();
+  Annotation ann = Annotate(snap, nfa, inst.source, inst.target);
+  TrimmedIndex index(snap, ann);
   std::set<std::vector<uint32_t>> walks;
   size_t emitted = 0;
-  for (TrimmedEnumerator en(inst.db, ann, index, inst.source, inst.target);
+  for (TrimmedEnumerator en(ann, index, inst.source, inst.target);
        en.Valid(); en.Next()) {
     ++emitted;
     walks.insert(en.walk().edges);
@@ -125,10 +126,10 @@ std::set<std::vector<uint32_t>> PipelineAnswers(const Instance& inst,
   return walks;
 }
 
-std::set<std::vector<uint32_t>> NaiveAnswers(const Instance& inst,
+std::set<std::vector<uint32_t>> NaiveAnswers(Instance& inst,
                                              const Nfa& nfa) {
-  NaiveResult naive =
-      NaiveDistinctShortestWalks(inst.db, nfa, inst.source, inst.target);
+  NaiveResult naive = NaiveDistinctShortestWalks(inst.db.Freeze(), nfa,
+                                                 inst.source, inst.target);
   EXPECT_FALSE(naive.budget_exhausted);
   std::set<std::vector<uint32_t>> walks;
   for (const Walk& w : naive.walks) walks.insert(w.edges);
@@ -155,7 +156,7 @@ std::vector<Instance> RandomInstances() {
 }
 
 TEST(StratifiedPipelineTest, AnnotationMatchesReferenceLevelForLevel) {
-  for (const Instance& inst : RandomInstances()) {
+  for (Instance& inst : RandomInstances()) {
     ExpectAnnotationMatchesReference(inst, StaircaseNfa(1, 2), "staircase1");
     ExpectAnnotationMatchesReference(inst, StaircaseNfa(3, 2), "staircase3");
     ExpectAnnotationMatchesReference(inst, CompleteNfa(3, 2), "complete3");
@@ -174,7 +175,7 @@ TEST(StratifiedPipelineTest, AnnotationMatchesReferenceOnThompsonNfas) {
 }
 
 TEST(StratifiedPipelineTest, PipelineMatchesNaiveOnRandomGraphs) {
-  for (const Instance& inst : RandomInstances()) {
+  for (Instance& inst : RandomInstances()) {
     for (const Nfa& nfa : {StaircaseNfa(1, 2), StaircaseNfa(2, 2),
                            CompleteNfa(3, 2)}) {
       std::set<std::vector<uint32_t>> trimmed = PipelineAnswers(inst, nfa);

@@ -14,6 +14,7 @@
 #define DSW_UTIL_STATE_SET_H_
 
 #include <bit>
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -54,7 +55,15 @@ class StateSetView {
   const uint64_t* words() const { return words_; }
   size_t num_words() const { return state_set_detail::WordsFor(num_bits_); }
 
-  bool Test(uint32_t i) const { return (words_[i >> 6] >> (i & 63)) & 1; }
+  bool Test(uint32_t i) const {
+    // A null view is the lookup-miss sentinel: callers must branch on
+    // the view (or its capacity) before probing bits. Dereferencing the
+    // null words pointer is UB that usually reads as "bit not set" —
+    // die loudly instead, like the index generation checks.
+    assert(words_ != nullptr && "Test on a null StateSetView");
+    assert(i < num_bits_ && "Test past the view's capacity");
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
 
   bool Any() const {
     for (size_t i = 0; i < num_words(); ++i)
@@ -83,6 +92,10 @@ class StateSetView {
   /// Calls \p fn(state) for every set bit, in increasing order.
   template <typename Fn>
   void ForEach(Fn&& fn) const {
+    // A null view happens to iterate zero words today, but calling
+    // ForEach on one is a missed lookup-miss branch at the call site —
+    // surface the misuse instead of masking it.
+    assert(words_ != nullptr && "ForEach on a null StateSetView");
     state_set_detail::ForEachBit(words_, num_words(), fn);
   }
 
