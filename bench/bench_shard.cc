@@ -1,0 +1,78 @@
+// E11: sharded preprocessing scaling — annotate + trim wall clock vs
+// shard count, on the two poles of the frontier-shape spectrum:
+//
+//  - EmbedInNoise (wide frontiers, few levels): the scaling workload.
+//    Supersteps amortize the barrier over thousands of relaxations, so
+//    real time should drop with shards on a multi-core host. CI's
+//    perf-smoke job gates on >= 2x real-time speedup from 1 to 4 shards
+//    on this arm.
+//  - Grid (anti-diagonal frontiers of ~n vertices, ~2n levels): the
+//    barrier-adversarial pole, reported honestly — per-superstep work is
+//    tiny, so sharding overhead can win and the curve is allowed to be
+//    flat or inverted.
+//
+// Both report UseRealTime (the scaling signal) and process CPU time
+// (stable across core counts — what the regression guard compares).
+// shards:1 routes through the sequential path, so the 1-shard arm is
+// also a regression sentinel for plain Annotate/TrimmedIndex.
+
+#include <benchmark/benchmark.h>
+
+#include "core/annotate.h"
+#include "core/trimmed_index.h"
+#include "workload/generators.h"
+#include "workload/queries.h"
+
+namespace dsw {
+namespace {
+
+void RunPreprocess(benchmark::State& state, Instance& inst,
+                   const Nfa& query) {
+  AnnotateOptions opts;
+  opts.num_shards = static_cast<uint32_t>(state.range(0));
+  Snapshot snap = inst.db.Freeze();
+  for (auto _ : state) {
+    Annotation ann =
+        Annotate(snap, query, inst.source, inst.target, opts);
+    TrimmedIndex index(snap, ann, opts);
+    benchmark::DoNotOptimize(index.num_slots());
+  }
+  state.counters["edges"] = static_cast<double>(inst.db.num_edges());
+  state.counters["shards"] = static_cast<double>(opts.num_shards);
+}
+
+// Wide-frontier scaling arm: a BubbleChain core whose answer structure
+// is fixed, embedded in a large random noise graph the BFS must wade
+// through — lots of parallel relax work per level.
+void BM_Shard_EmbedInNoise(benchmark::State& state) {
+  Instance inst = EmbedInNoise(BubbleChain(32, 2), 8192, 32768, 97);
+  Nfa query = StaircaseNfa(64, 2);
+  RunPreprocess(state, inst, query);
+}
+BENCHMARK(BM_Shard_EmbedInNoise)
+    ->ArgName("shards")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->MeasureProcessCPUTime();
+
+// Narrow-frontier adversarial arm: ~2n supersteps of ~n-vertex
+// frontiers; barrier cost per superstep is the dominant term.
+void BM_Shard_Grid(benchmark::State& state) {
+  Instance inst = Grid(96, 96);
+  Nfa query = StaircaseNfa(63, 1);
+  RunPreprocess(state, inst, query);
+}
+BENCHMARK(BM_Shard_Grid)
+    ->ArgName("shards")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->MeasureProcessCPUTime();
+
+}  // namespace
+}  // namespace dsw

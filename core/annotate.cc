@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <utility>
 
+#include "core/shard_plan.h"
+#include "core/sharded_annotate.h"
+
 namespace dsw {
 namespace {
 
@@ -11,7 +14,10 @@ constexpr uint32_t kNoSlot = UINT32_MAX;
 }  // namespace
 
 Annotation Annotate(const Snapshot& snap, const Nfa& query, uint32_t source,
-                    uint32_t target) {
+                    uint32_t target, const AnnotateOptions& opts) {
+  if (ShardPlan::ClampShards(opts.num_shards, snap.num_vertices()) > 1)
+    return ShardedAnnotate(snap, query, source, target, opts);
+
   Annotation ann;
   ann.num_states = query.num_states();
   ann.source = source;

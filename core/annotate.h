@@ -50,6 +50,24 @@
 
 namespace dsw {
 
+/// Knobs of the preprocessing stages (annotate + trim). num_shards = 1
+/// is the sequential path; > 1 partitions the vertices into that many
+/// shards (clamped, see ShardPlan::ClampShards) and runs the product
+/// BFS and the backward trim sweep Pregel-style — one thread per shard,
+/// supersteps per BFS level, (dst-vertex, state-set-delta) word messages
+/// over per-(src-shard, dst-shard) SPSC rings — producing results
+/// bit-identical to the sequential path (core/sharded_annotate.h).
+/// The engine's Prepare() forwards these, so sharding is opt-in per
+/// query.
+struct AnnotateOptions {
+  uint32_t num_shards = 1;
+  /// Per-(src-shard, dst-shard) ring capacity in words; 0 picks the
+  /// default (1 << 12). Tiny values are legal (the rings apply
+  /// backpressure, they never drop) — the stress tests shrink this to
+  /// force the full-ring path.
+  size_t ring_capacity_words = 0;
+};
+
 struct Annotation {
   /// Length of the shortest accepting walk; -1 if target is unreachable
   /// under the query.
@@ -110,9 +128,10 @@ struct Annotation {
 /// Runs the product BFS against a frozen snapshot. The snapshot carries
 /// the label-stratified adjacency built at Freeze() time, so annotation
 /// is a pure read — any number of Annotate calls can run concurrently
-/// against one shared Snapshot.
+/// against one shared Snapshot (each sharded call spawns and joins its
+/// own worker threads internally; the result is identical either way).
 Annotation Annotate(const Snapshot& snap, const Nfa& query, uint32_t source,
-                    uint32_t target);
+                    uint32_t target, const AnnotateOptions& opts = {});
 
 }  // namespace dsw
 

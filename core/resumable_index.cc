@@ -2,8 +2,9 @@
 
 namespace dsw {
 
-ResumableIndex::ResumableIndex(const Snapshot& snap, const Annotation& ann)
-    : trimmed_(snap, ann) {
+ResumableIndex::ResumableIndex(const Snapshot& snap, const Annotation& ann,
+                               const AnnotateOptions& opts)
+    : trimmed_(snap, ann, opts) {
   if (!ann.reachable() || trimmed_.empty()) return;
   const uint32_t lambda = static_cast<uint32_t>(ann.lambda);
   const LabelIndex& adj = snap.label_index();

@@ -65,8 +65,10 @@ class ResumableIndex {
   /// run concurrently with other readers. Release builds never consult
   /// the database after construction; debug builds keep a back-pointer
   /// for the stale-snapshot assertion (TrimmedIndex::AssertFresh), so
-  /// there the database must outlive the index.
-  ResumableIndex(const Snapshot& snap, const Annotation& ann);
+  /// there the database must outlive the index. \p opts selects the
+  /// sequential or sharded backward sweep (same structure either way).
+  ResumableIndex(const Snapshot& snap, const Annotation& ann,
+                 const AnnotateOptions& opts = {});
 
   /// The underlying trimmed structure (useful sets, lambda, etc.).
   const TrimmedIndex& trimmed() const { return trimmed_; }

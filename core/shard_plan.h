@@ -1,0 +1,151 @@
+// Building blocks of the sharded (Pregel-style) preprocessing path:
+//
+//  - ShardPlan: a partition of the vertex ids into S *contiguous* ranges,
+//    balanced by out-degree. Contiguity is load-bearing: each shard's
+//    frontier/useful sets are sorted within its range, so concatenating
+//    the per-shard results in shard order yields the globally sorted
+//    LevelSets the sequential pipeline produces — bit-identical merges
+//    with no sort step. The owner array gives O(1) routing per message.
+//
+//  - WordRing: a bounded single-producer/single-consumer ring of raw
+//    uint64_t words. The sharded BFS allocates one ring per
+//    (src-shard, dst-shard) pair; shard s is the only producer of
+//    ring[s][d] and shard d its only consumer, so head/tail are two
+//    relaxed-hot atomics with acquire/release hand-off and no locks.
+//    Messages are fixed-size records (header word + the state-set
+//    words), pushed all-or-nothing so any published range holds whole
+//    records. Producers that find a ring full drain their own inboxes
+//    while retrying — every shard does, which is what makes the
+//    full-ring backpressure deadlock-free (see core/sharded_annotate.cc).
+
+#ifndef DSW_CORE_SHARD_PLAN_H_
+#define DSW_CORE_SHARD_PLAN_H_
+
+#include <atomic>
+#include <bit>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/database.h"
+
+namespace dsw {
+
+class ShardPlan {
+ public:
+  /// Owner array is uint8_t; more shards than this never pays anyway.
+  static constexpr uint32_t kMaxShards = 256;
+
+  /// Shard count actually usable for a database of \p num_vertices
+  /// vertices: at least 1, at most kMaxShards, and never more shards
+  /// than vertices (beyond that the extra shards would all be empty).
+  static uint32_t ClampShards(uint32_t requested, uint32_t num_vertices) {
+    uint32_t s = requested == 0 ? 1 : requested;
+    if (s > kMaxShards) s = kMaxShards;
+    if (num_vertices != 0 && s > num_vertices) s = num_vertices;
+    return s;
+  }
+
+  /// Cuts [0, V) into \p num_shards contiguous ranges with roughly equal
+  /// total weight, where weight(v) = 1 + out_degree(v) — the unit of
+  /// both BFS relax work and trim scan work. Empty ranges are legal
+  /// (e.g. V < S after clamping elsewhere).
+  ShardPlan(const Snapshot& snap, uint32_t num_shards)
+      : num_shards_(ClampShards(num_shards, snap.num_vertices())) {
+    const uint32_t v_count = snap.num_vertices();
+    begin_.assign(num_shards_ + 1, v_count);
+    owner_.assign(v_count, 0);
+    uint64_t total = 0;
+    for (uint32_t v = 0; v < v_count; ++v)
+      total += 1 + snap.OutEdges(v).size();
+    begin_[0] = 0;
+    uint64_t acc = 0;
+    uint32_t s = 0;
+    for (uint32_t v = 0; v < v_count; ++v) {
+      // Advance the cut while v's weight belongs to a later shard: shard
+      // s covers cumulative weight [total*s/S, total*(s+1)/S).
+      while (s + 1 < num_shards_ &&
+             acc * num_shards_ >= total * (s + 1)) {
+        ++s;
+        begin_[s] = v;
+      }
+      owner_[v] = static_cast<uint8_t>(s);
+      acc += 1 + snap.OutEdges(v).size();
+    }
+    // Cuts never reached keep their initialized value v_count: trailing
+    // shards are empty ranges.
+  }
+
+  uint32_t num_shards() const { return num_shards_; }
+  uint32_t begin(uint32_t s) const { return begin_[s]; }
+  uint32_t end(uint32_t s) const { return begin_[s + 1]; }
+  uint32_t owner(uint32_t v) const { return owner_[v]; }
+
+ private:
+  uint32_t num_shards_;
+  std::vector<uint32_t> begin_;  // size num_shards_ + 1; begin_[0] == 0
+  std::vector<uint8_t> owner_;   // vertex -> shard
+};
+
+class WordRing {
+ public:
+  /// Capacity is rounded up to a power of two and to at least
+  /// \p min_record words, so one record always fits.
+  explicit WordRing(size_t capacity_words, size_t min_record = 1) {
+    size_t cap = capacity_words < min_record ? min_record : capacity_words;
+    cap = std::bit_ceil(cap);
+    mask_ = cap - 1;
+    buf_.assign(cap, 0);
+  }
+
+  size_t capacity() const { return mask_ + 1; }
+
+  /// Producer side: appends \p n words as one record, or returns false
+  /// without writing anything when fewer than n slots are free.
+  bool TryPush(const uint64_t* rec, size_t n) {
+    const size_t t = tail_.load(std::memory_order_relaxed);
+    if (capacity() - (t - cached_head_) < n) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (capacity() - (t - cached_head_) < n) return false;
+    }
+    for (size_t i = 0; i < n; ++i) buf_[(t + i) & mask_] = rec[i];
+    tail_.store(t + n, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side: pops one \p n-word record into \p rec, or returns
+  /// false when no full record is published. All records of one run
+  /// share a size, so "fewer than n words visible" means "empty".
+  bool TryPop(uint64_t* rec, size_t n) {
+    const size_t h = head_.load(std::memory_order_relaxed);
+    if (cached_tail_ - h < n) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (cached_tail_ - h < n) return false;
+    }
+    for (size_t i = 0; i < n; ++i) rec[i] = buf_[(h + i) & mask_];
+    head_.store(h + n, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer-side emptiness probe (exact for the consumer once all
+  /// producers have quiesced; a racy hint otherwise).
+  bool Empty() const {
+    return head_.load(std::memory_order_relaxed) ==
+           tail_.load(std::memory_order_acquire);
+  }
+
+ private:
+  size_t mask_ = 0;
+  std::vector<uint64_t> buf_;
+  // Consumer-owned line: head_ plus the consumer's cached tail.
+  alignas(64) std::atomic<size_t> head_{0};
+  size_t cached_tail_ = 0;
+  // Producer-owned line: tail_ plus the producer's cached head.
+  alignas(64) std::atomic<size_t> tail_{0};
+  size_t cached_head_ = 0;
+};
+
+}  // namespace dsw
+
+#endif  // DSW_CORE_SHARD_PLAN_H_

@@ -1,0 +1,76 @@
+// Pregel-style sharded preprocessing: the product BFS (annotate) and
+// the backward trim sweep, partitioned by vertex across S shards with
+// one worker thread per shard.
+//
+// Annotate runs as supersteps, one per BFS level:
+//
+//   scatter   Each shard relaxes its slice of the current frontier
+//             word-parallel (the same per-(vertex, label) CompiledDelta
+//             row OR as the sequential path). A relaxed edge whose
+//             destination the shard owns is applied directly; a remote
+//             one becomes a (dst-vertex, state-set) word record pushed
+//             into the per-(src-shard, dst-shard) WordRing. A producer
+//             finding a ring full drains its own inboxes while
+//             retrying — since every blocked shard keeps consuming,
+//             backpressure can never deadlock. An optimistic filter
+//             reads the destination's seen words (relaxed atomics; the
+//             owner is the only writer) and skips records that would
+//             add nothing — BFS reaches most pairs through many edges,
+//             so most records die here instead of crossing the ring.
+//   gather    The owner merges each delta into its slice of the seen
+//             bitmap and its next-frontier accumulator (dense slot
+//             table + touched list, as sequential). Gathering is
+//             interleaved with scattering; a shard leaves the superstep
+//             once every shard has finished scattering and its inboxes
+//             are empty.
+//   barrier   Each shard seals its local sub-frontier sorted within its
+//             (contiguous) vertex range; the sub-frontiers are then
+//             concatenated in shard order — globally sorted by
+//             construction — into the level's LevelSets (sizes and
+//             offsets by shard 0, the copies in parallel), and shard 0
+//             runs the same target/termination check as the sequential
+//             loop.
+//
+// BFS levels are distance sets, independent of relax order, so the
+// merged levels are *bit-identical* to the sequential Annotate — the
+// correctness oracle of the test suite, and what lets every downstream
+// stage consume either interchangeably.
+//
+// The backward trim sweep mirrors the same skeleton with the roles
+// reversed: information flows along *reverse* product edges (the
+// word-parallel reverse delta-row ORs of the sequential sweep), one
+// superstep per level from lambda down. The merged useful level i + 1
+// is immutable once its barrier passes — the superstep's broadcast
+// state — so each shard trims its slice of level i against it by pure
+// reads (TrimVertex, shared verbatim with the sequential constructor)
+// and no rings are needed; the per-shard candidate pools, B-list blocks
+// and useful sets are then offset-fixed and concatenated in shard
+// order, reproducing the sequential TrimmedIndex bit for bit.
+
+#ifndef DSW_CORE_SHARDED_ANNOTATE_H_
+#define DSW_CORE_SHARDED_ANNOTATE_H_
+
+#include <cstdint>
+
+#include "core/annotate.h"
+#include "core/database.h"
+#include "core/nfa.h"
+#include "core/trimmed_index.h"
+
+namespace dsw {
+
+/// The sharded product BFS. Precondition: num_shards clamps to >= 2
+/// (Annotate() routes num_shards <= 1 to the sequential path).
+Annotation ShardedAnnotate(const Snapshot& snap, const Nfa& query,
+                           uint32_t source, uint32_t target,
+                           const AnnotateOptions& opts);
+
+/// The sharded backward sweep; fills \p out (a freshly constructed,
+/// empty TrimmedIndex) with exactly the structure the sequential
+/// constructor builds. Called by TrimmedIndex's options constructor.
+void ShardedTrimBuild(TrimmedIndex& out, const Snapshot& snap,
+                      const Annotation& ann, const AnnotateOptions& opts);
+
+}  // namespace dsw
+
+#endif  // DSW_CORE_SHARDED_ANNOTATE_H_

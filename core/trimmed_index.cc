@@ -1,8 +1,92 @@
 #include "core/trimmed_index.h"
 
+#include "core/shard_plan.h"
+#include "core/sharded_annotate.h"
+
 namespace dsw {
 
-TrimmedIndex::TrimmedIndex(const Snapshot& snap, const Annotation& ann) {
+namespace trim_detail {
+
+bool TrimVertex(const LabelIndex& adj, const CompiledDelta& delta,
+                uint32_t wps, uint32_t v, StateSetView states,
+                const LevelSets& next_useful, Scratch* scratch,
+                std::vector<TrimmedIndex::CandidateEdge>* cand_pool,
+                std::vector<uint32_t>* nxt_pool) {
+  StateSet& useful_here = scratch->useful_here;
+  StateSet& edge_q = scratch->edge_q;
+  std::vector<uint64_t>& cand_src = scratch->cand_src;
+  useful_here.ZeroAll();
+  cand_src.clear();
+  const size_t cand_begin = cand_pool->size();
+  for (const LabelIndex::Group& group : adj.GroupsOf(v)) {
+    if (!delta.HasLabel(group.label)) continue;
+    uint32_t last_dst = UINT32_MAX;
+    uint32_t last_pos = 0;
+    bool last_ok = false;
+    for (const LabelIndex::Target& t : adj.Targets(group)) {
+      if (t.dst != last_dst) {  // parallel edges share the move set
+        last_dst = t.dst;
+        size_t pos = next_useful.FindIndex(t.dst);
+        if (pos == LevelSets::npos) {
+          last_ok = false;
+        } else {
+          last_pos = static_cast<uint32_t>(pos);
+          edge_q.ZeroAll();
+          next_useful.states(pos).ForEach([&](uint32_t q_next) {
+            edge_q.UnionWithWords(delta.ReverseWords(group.label, q_next),
+                                  wps);
+          });
+          edge_q &= states;
+          last_ok = edge_q.Any();
+        }
+      }
+      if (!last_ok) continue;
+      cand_pool->push_back(TrimmedIndex::CandidateEdge{t.edge, t.dst,
+                                                       group.label, last_pos});
+      cand_src.insert(cand_src.end(), edge_q.words(), edge_q.words() + wps);
+      useful_here |= edge_q;
+    }
+  }
+  if (useful_here.None()) return false;
+
+  // The vertex's B-list block: one next-usable row per useful state.
+  // useful_here is exactly the union of the candidates' usable-source
+  // sets, so every row has >= 1 usable candidate. O(|useful| x ncand) —
+  // the same order as the block itself.
+  const uint32_t ncand = static_cast<uint32_t>(cand_pool->size() - cand_begin);
+  const size_t block_off = nxt_pool->size();
+  nxt_pool->resize(block_off + static_cast<size_t>(useful_here.Count()) *
+                                   (ncand + 1));
+  uint32_t* block = nxt_pool->data() + block_off;
+  uint32_t j = 0;
+  useful_here.ForEach([&](uint32_t q) {
+    uint32_t* row = block + static_cast<size_t>(j) * (ncand + 1);
+    uint32_t cur = ncand;  // sentinel: no usable candidate >= c
+    row[ncand] = ncand;
+    for (uint32_t c = ncand; c-- > 0;) {
+      if ((cand_src[static_cast<size_t>(c) * wps + (q >> 6)] >> (q & 63)) & 1)
+        cur = c;
+      row[c] = cur;
+    }
+    ++j;
+  });
+  return true;
+}
+
+}  // namespace trim_detail
+
+TrimmedIndex::TrimmedIndex(const Snapshot& snap, const Annotation& ann,
+                           const AnnotateOptions& opts) {
+  if (ShardPlan::ClampShards(opts.num_shards, snap.num_vertices()) > 1 &&
+      ann.reachable()) {
+    ShardedTrimBuild(*this, snap, ann, opts);
+    return;
+  }
+  BuildSequential(snap, ann);
+}
+
+void TrimmedIndex::BuildSequential(const Snapshot& snap,
+                                   const Annotation& ann) {
   db_ = &snap.db();
   generation_ = snap.generation();
   if (!ann.reachable()) return;
@@ -30,20 +114,12 @@ TrimmedIndex::TrimmedIndex(const Snapshot& snap, const Annotation& ann) {
   // (a smaller BFS distance would splice into a shorter answer), so the
   // mate is scanned in its own right — composing the before-side closure
   // would only duplicate moves. The after side is already inside the
-  // delta rows.
-  //
-  // Per edge, the useful sources are computed word-parallel:
-  //   edge_q = (union over q' in useful(i+1, dst) of rev-delta[l][q'])
-  //            AND annotated(v, i)
-  // and shared across parallel edges with the same destination.
+  // delta rows. The per-vertex unit (word-parallel reverse-row move
+  // sets, candidate list, B-list block) lives in trim_detail::TrimVertex,
+  // shared with the sharded builder.
   const LabelIndex& adj = snap.label_index();
   const CompiledDelta& delta = ann.delta;
-  StateSet useful_here(ann.num_states);
-  StateSet edge_q(ann.num_states);
-  // Scratch, reused per vertex: the usable-source set of each candidate
-  // pushed so far (wps_ words per candidate), the raw material of the
-  // vertex's B-list block.
-  std::vector<uint64_t> cand_src;
+  trim_detail::Scratch scratch(ann.num_states);
 
   for (uint32_t i = lambda; i-- > 0;) {
     const LevelSets& level = ann.levels[i];
@@ -51,71 +127,16 @@ TrimmedIndex::TrimmedIndex(const Snapshot& snap, const Annotation& ann) {
     if (next_useful.empty()) continue;  // nothing below is useful
     for (size_t vi = 0; vi < level.size(); ++vi) {
       const uint32_t v = level.vertex(vi);
-      const StateSetView states = level.states(vi);
-      useful_here.ZeroAll();
-      cand_src.clear();
       const uint32_t cand_begin = static_cast<uint32_t>(cand_pool_.size());
-      for (const LabelIndex::Group& group : adj.GroupsOf(v)) {
-        if (!delta.HasLabel(group.label)) continue;
-        uint32_t last_dst = UINT32_MAX;
-        uint32_t last_pos = 0;
-        bool last_ok = false;
-        for (const LabelIndex::Target& t : adj.Targets(group)) {
-          if (t.dst != last_dst) {  // parallel edges share the move set
-            last_dst = t.dst;
-            size_t pos = next_useful.FindIndex(t.dst);
-            if (pos == LevelSets::npos) {
-              last_ok = false;
-            } else {
-              last_pos = static_cast<uint32_t>(pos);
-              edge_q.ZeroAll();
-              next_useful.states(pos).ForEach([&](uint32_t q_next) {
-                edge_q.UnionWithWords(
-                    delta.ReverseWords(group.label, q_next), wps_);
-              });
-              edge_q &= states;
-              last_ok = edge_q.Any();
-            }
-          }
-          if (!last_ok) continue;
-          cand_pool_.push_back(
-              CandidateEdge{t.edge, t.dst, group.label, last_pos});
-          cand_src.insert(cand_src.end(), edge_q.words(),
-                          edge_q.words() + wps_);
-          useful_here |= edge_q;
-        }
-      }
-      if (useful_here.Any()) {
-        useful_[i].Append(v, useful_here.words());
-        const uint32_t ncand =
-            static_cast<uint32_t>(cand_pool_.size()) - cand_begin;
-        cand_ranges_[i].emplace_back(
-            cand_begin, static_cast<uint32_t>(cand_pool_.size()));
-
-        // The vertex's B-list block: one next-usable row per useful
-        // state. useful_here is exactly the union of the candidates'
-        // usable-source sets, so every row has >= 1 usable candidate.
-        // O(|useful| x ncand) — the same order as the block itself.
-        blist_off_[i].push_back(nxt_pool_.size());
-        nxt_pool_.resize(nxt_pool_.size() +
-                         static_cast<size_t>(useful_here.Count()) *
-                             (ncand + 1));
-        uint32_t* block = nxt_pool_.data() + blist_off_[i].back();
-        uint32_t j = 0;
-        useful_here.ForEach([&](uint32_t q) {
-          uint32_t* row = block + static_cast<size_t>(j) * (ncand + 1);
-          uint32_t cur = ncand;  // sentinel: no usable candidate >= c
-          row[ncand] = ncand;
-          for (uint32_t c = ncand; c-- > 0;) {
-            if ((cand_src[static_cast<size_t>(c) * wps_ + (q >> 6)] >>
-                 (q & 63)) &
-                1)
-              cur = c;
-            row[c] = cur;
-          }
-          ++j;
-        });
-      }
+      const size_t block_off = nxt_pool_.size();
+      if (!trim_detail::TrimVertex(adj, delta, wps_, v, level.states(vi),
+                                   next_useful, &scratch, &cand_pool_,
+                                   &nxt_pool_))
+        continue;
+      useful_[i].Append(v, scratch.useful_here.words());
+      cand_ranges_[i].emplace_back(cand_begin,
+                                   static_cast<uint32_t>(cand_pool_.size()));
+      blist_off_[i].push_back(block_off);
     }
   }
 

@@ -144,8 +144,12 @@ class TrimmedIndex {
   /// Builds the trimmed structure from a frozen snapshot (one backward
   /// sweep over the annotation); a pure read of the snapshot, safe to
   /// run concurrently with other readers. The snapshot's generation is
-  /// recorded for the AssertFresh staleness check.
-  TrimmedIndex(const Snapshot& snap, const Annotation& ann);
+  /// recorded for the AssertFresh staleness check. With
+  /// opts.num_shards > 1 the sweep runs sharded (one thread per shard,
+  /// superstep per level; core/sharded_annotate.h) and produces a
+  /// bit-identical structure.
+  TrimmedIndex(const Snapshot& snap, const Annotation& ann,
+               const AnnotateOptions& opts = {});
 
   /// Number of useful (v, q, level) triples; 0 iff no answer exists.
   size_t num_slots() const { return num_slots_; }
@@ -222,6 +226,14 @@ class TrimmedIndex {
   }
 
  private:
+  // The sharded builder (core/sharded_annotate.cc) assembles the same
+  // private structure from per-shard pieces.
+  friend void ShardedTrimBuild(TrimmedIndex&, const Snapshot&,
+                               const Annotation&, const AnnotateOptions&);
+
+  // The sequential backward sweep (the num_shards <= 1 path).
+  void BuildSequential(const Snapshot& snap, const Annotation& ann);
+
   uint32_t wps_ = 0;
   std::vector<LevelSets> useful_;  // per level, sorted vertices
   // Per level, parallel to useful_[level]'s vertices: the vertex's
@@ -238,6 +250,34 @@ class TrimmedIndex {
   const Database* db_ = nullptr;
   uint64_t generation_ = 0;
 };
+
+namespace trim_detail {
+
+/// Scratch reused across TrimVertex calls by one sweeping thread.
+struct Scratch {
+  explicit Scratch(uint32_t num_states)
+      : useful_here(num_states), edge_q(num_states) {}
+  StateSet useful_here;
+  StateSet edge_q;
+  std::vector<uint64_t> cand_src;
+};
+
+/// The per-vertex unit of the backward sweep, shared verbatim between
+/// the sequential TrimmedIndex constructor and the sharded builder —
+/// which is what makes the two paths bit-identical by construction.
+/// Appends the candidate edges of annotated vertex \p v (state set
+/// \p states) to *cand_pool, and — iff v turns out useful — its B-list
+/// block to *nxt_pool; returns that usefulness, with the useful set
+/// left in scratch->useful_here. CandidateEdge::next_pos is a position
+/// into \p next_useful, so passing the *merged* next level keeps the
+/// sharded build's positions global.
+bool TrimVertex(const LabelIndex& adj, const CompiledDelta& delta,
+                uint32_t wps, uint32_t v, StateSetView states,
+                const LevelSets& next_useful, Scratch* scratch,
+                std::vector<TrimmedIndex::CandidateEdge>* cand_pool,
+                std::vector<uint32_t>* nxt_pool);
+
+}  // namespace trim_detail
 
 }  // namespace dsw
 

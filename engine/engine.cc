@@ -73,7 +73,7 @@ void QueryEngine::InstallSnapshot(Snapshot snap) {
 }
 
 QueryId QueryEngine::Prepare(const Nfa& query, uint32_t source,
-                             uint32_t target) {
+                             uint32_t target, const AnnotateOptions& opts) {
   Snapshot snap;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -84,9 +84,8 @@ QueryId QueryEngine::Prepare(const Nfa& query, uint32_t source,
   // The expensive build (annotate + trim + queue construction) runs
   // outside the lock: Prepare from several threads proceeds in
   // parallel, all against the same frozen snapshot.
-  auto prepared =
-      std::make_shared<const PreparedQuery>(std::move(snap), query, source,
-                                            target);
+  auto prepared = std::make_shared<const PreparedQuery>(
+      std::move(snap), query, source, target, opts);
   std::lock_guard<std::mutex> lock(mu_);
   queries_.push_back(std::move(prepared));
   return static_cast<QueryId>(queries_.size() - 1);

@@ -83,8 +83,11 @@ class QueryEngine {
 
   /// Builds Annotation + ResumableIndex for (query, source, target)
   /// against the installed snapshot, once, on the calling thread.
-  /// Requires a snapshot to be installed.
-  QueryId Prepare(const Nfa& query, uint32_t source, uint32_t target);
+  /// Requires a snapshot to be installed. \p opts opts the build into
+  /// the sharded preprocessing path (AnnotateOptions::num_shards > 1);
+  /// the resulting index is identical either way.
+  QueryId Prepare(const Nfa& query, uint32_t source, uint32_t target,
+                  const AnnotateOptions& opts = {});
 
   /// Opens a parked cursor over a prepared query. Cheap; many sessions
   /// may share one prepared query.
@@ -117,10 +120,11 @@ class QueryEngine {
   // read-only — the snapshot copy keeps the frozen LabelIndex alive and
   // carries the generation this query is pinned to.
   struct PreparedQuery {
-    PreparedQuery(Snapshot s, const Nfa& query, uint32_t src, uint32_t tgt)
+    PreparedQuery(Snapshot s, const Nfa& query, uint32_t src, uint32_t tgt,
+                  const AnnotateOptions& opts)
         : snap(std::move(s)),
-          ann(Annotate(snap, query, src, tgt)),
-          index(snap, ann),
+          ann(Annotate(snap, query, src, tgt, opts)),
+          index(snap, ann, opts),
           source(src),
           target(tgt) {}
     Snapshot snap;

@@ -1,0 +1,357 @@
+// Correctness oracle for the Pregel-style sharded preprocessing path
+// (core/sharded_annotate.h): across graph families, query shapes and
+// shard counts, the sharded annotate and trim must be *bit-identical* to
+// the sequential path — level for level, candidate for candidate,
+// B-list row for B-list row. Plus unit tests for the building blocks
+// (ShardPlan, WordRing), a tiny-ring backpressure stress, a concurrent
+// shared-snapshot stress (TSan food), and an end-to-end engine check.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "automaton/thompson.h"
+#include "core/annotate.h"
+#include "core/shard_plan.h"
+#include "core/sharded_annotate.h"
+#include "core/trimmed_index.h"
+#include "engine/engine.h"
+#include "regex/regex_parser.h"
+#include "workload/generators.h"
+#include "workload/queries.h"
+
+namespace dsw {
+namespace {
+
+// ------------------------------------------------------- bit equality
+
+void ExpectLevelSetsEqual(const LevelSets& a, const LevelSets& b,
+                          const char* what, uint32_t level) {
+  SCOPED_TRACE(std::string(what) + " level " + std::to_string(level));
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_EQ(a.words_per_set(), b.words_per_set());
+  ASSERT_EQ(a.vertices(), b.vertices());
+  for (size_t i = 0; i < a.size(); ++i) {
+    StateSetView av = a.states(i);
+    StateSetView bv = b.states(i);
+    ASSERT_EQ(av.num_words(), bv.num_words());
+    for (size_t w = 0; w < av.num_words(); ++w)
+      ASSERT_EQ(av.words()[w], bv.words()[w])
+          << "vertex " << a.vertex(i) << " word " << w;
+  }
+}
+
+void ExpectAnnotationsEqual(const Annotation& seq, const Annotation& shd) {
+  ASSERT_EQ(seq.lambda, shd.lambda);
+  ASSERT_EQ(seq.num_states, shd.num_states);
+  ASSERT_EQ(seq.levels.size(), shd.levels.size());
+  for (size_t i = 0; i < seq.levels.size(); ++i)
+    ExpectLevelSetsEqual(seq.levels[i], shd.levels[i], "annotation",
+                         static_cast<uint32_t>(i));
+}
+
+void ExpectTrimmedEqual(const TrimmedIndex& seq, const TrimmedIndex& shd) {
+  ASSERT_EQ(seq.num_slots(), shd.num_slots());
+  ASSERT_EQ(seq.num_levels(), shd.num_levels());
+  ASSERT_EQ(seq.words_per_set(), shd.words_per_set());
+  for (uint32_t l = 0; l < seq.num_levels(); ++l) {
+    ExpectLevelSetsEqual(seq.UsefulLevel(l), shd.UsefulLevel(l), "useful", l);
+    if (l + 1 == seq.num_levels()) continue;  // level lambda: no candidates
+    for (size_t p = 0; p < seq.UsefulLevel(l).size(); ++p) {
+      auto ca = seq.CandidatesAt(l, p);
+      auto cb = shd.CandidatesAt(l, p);
+      ASSERT_EQ(ca.size(), cb.size()) << "level " << l << " pos " << p;
+      for (size_t c = 0; c < ca.size(); ++c) {
+        EXPECT_EQ(ca[c].edge, cb[c].edge);
+        EXPECT_EQ(ca[c].dst, cb[c].dst);
+        EXPECT_EQ(ca[c].label, cb[c].label);
+        EXPECT_EQ(ca[c].next_pos, cb[c].next_pos);
+      }
+      TrimmedIndex::BList ba = seq.BListAt(l, p);
+      TrimmedIndex::BList bb = shd.BListAt(l, p);
+      ASSERT_EQ(ba.num_cand, bb.num_cand);
+      const size_t rows = ba.useful.Count();
+      ASSERT_EQ(rows, static_cast<size_t>(bb.useful.Count()));
+      ASSERT_EQ(std::memcmp(ba.nxt, bb.nxt,
+                            rows * (ba.num_cand + 1) * sizeof(uint32_t)),
+                0)
+          << "B-list block differs at level " << l << " pos " << p;
+    }
+  }
+}
+
+/// The whole oracle: sequential vs sharded annotate + trim, bit for bit.
+void ExpectShardedMatchesSequential(Instance& inst, const Nfa& query,
+                                    uint32_t num_shards,
+                                    size_t ring_words = 0) {
+  SCOPED_TRACE("shards=" + std::to_string(num_shards));
+  Snapshot snap = inst.db.Freeze();
+  Annotation seq_ann = Annotate(snap, query, inst.source, inst.target);
+  AnnotateOptions opts;
+  opts.num_shards = num_shards;
+  opts.ring_capacity_words = ring_words;
+  Annotation shd_ann =
+      Annotate(snap, query, inst.source, inst.target, opts);
+  ExpectAnnotationsEqual(seq_ann, shd_ann);
+
+  TrimmedIndex seq_index(snap, seq_ann);
+  TrimmedIndex shd_index(snap, shd_ann, opts);
+  ExpectTrimmedEqual(seq_index, shd_index);
+}
+
+constexpr uint32_t kShardCounts[] = {1, 2, 3, 8};
+
+// ---------------------------------------------------------- ShardPlan
+
+TEST(ShardPlanTest, ClampShards) {
+  EXPECT_EQ(ShardPlan::ClampShards(0, 100), 1u);
+  EXPECT_EQ(ShardPlan::ClampShards(1, 100), 1u);
+  EXPECT_EQ(ShardPlan::ClampShards(4, 100), 4u);
+  EXPECT_EQ(ShardPlan::ClampShards(4, 2), 2u);   // never more than V
+  EXPECT_EQ(ShardPlan::ClampShards(4, 0), 4u);   // V unknown-empty: keep
+  EXPECT_EQ(ShardPlan::ClampShards(100000, 1 << 20), ShardPlan::kMaxShards);
+}
+
+TEST(ShardPlanTest, ContiguousRangesTileAndOwnersAgree) {
+  Instance inst = LayeredGraph({});
+  Snapshot snap = inst.db.Freeze();
+  for (uint32_t s_count : {1u, 2u, 3u, 7u, 64u}) {
+    ShardPlan plan(snap, s_count);
+    ASSERT_EQ(plan.begin(0), 0u);
+    ASSERT_EQ(plan.end(plan.num_shards() - 1), snap.num_vertices());
+    for (uint32_t s = 0; s < plan.num_shards(); ++s) {
+      ASSERT_LE(plan.begin(s), plan.end(s));
+      if (s > 0) {
+        ASSERT_EQ(plan.begin(s), plan.end(s - 1));
+      }
+      for (uint32_t v = plan.begin(s); v < plan.end(s); ++v)
+        ASSERT_EQ(plan.owner(v), s);
+    }
+  }
+}
+
+TEST(ShardPlanTest, BalancesByOutDegree) {
+  // A star: vertex 0 carries all the weight. With 2 shards the heavy
+  // vertex must sit alone-ish; the plan may not put everything in one
+  // shard unless the weight forces it.
+  Instance inst = StarOfChains(16, 3, 2);
+  Snapshot snap = inst.db.Freeze();
+  ShardPlan plan(snap, 4);
+  uint32_t nonempty = 0;
+  for (uint32_t s = 0; s < plan.num_shards(); ++s)
+    if (plan.begin(s) < plan.end(s)) ++nonempty;
+  EXPECT_GE(nonempty, 2u);
+}
+
+// ----------------------------------------------------------- WordRing
+
+TEST(WordRingTest, PushPopRoundTripsRecords) {
+  WordRing ring(8, 4);  // capacity rounds to 8 words, records of 4
+  uint64_t rec[4] = {1, 2, 3, 4};
+  uint64_t got[4];
+  EXPECT_TRUE(ring.Empty());
+  EXPECT_TRUE(ring.TryPush(rec, 4));
+  EXPECT_TRUE(ring.TryPush(rec, 4));
+  EXPECT_FALSE(ring.TryPush(rec, 4));  // full: all-or-nothing refusal
+  EXPECT_FALSE(ring.Empty());
+  EXPECT_TRUE(ring.TryPop(got, 4));
+  EXPECT_EQ(std::memcmp(rec, got, sizeof(rec)), 0);
+  EXPECT_TRUE(ring.TryPush(rec, 4));  // space reclaimed
+  EXPECT_TRUE(ring.TryPop(got, 4));
+  EXPECT_TRUE(ring.TryPop(got, 4));
+  EXPECT_FALSE(ring.TryPop(got, 4));
+  EXPECT_TRUE(ring.Empty());
+}
+
+TEST(WordRingTest, WrapAroundKeepsRecordsIntact) {
+  WordRing ring(8, 3);
+  uint64_t got[3];
+  for (uint64_t round = 0; round < 100; ++round) {
+    uint64_t rec[3] = {round, round * 31, ~round};
+    ASSERT_TRUE(ring.TryPush(rec, 3));
+    ASSERT_TRUE(ring.TryPop(got, 3));
+    ASSERT_EQ(std::memcmp(rec, got, sizeof(rec)), 0) << "round " << round;
+  }
+}
+
+TEST(WordRingTest, SpscThreadedHandoff) {
+  WordRing ring(16, 2);
+  constexpr uint64_t kRecords = 20000;
+  std::thread producer([&ring] {
+    for (uint64_t i = 0; i < kRecords; ++i) {
+      uint64_t rec[2] = {i, i ^ 0x9e3779b97f4a7c15ull};
+      while (!ring.TryPush(rec, 2)) std::this_thread::yield();
+    }
+  });
+  uint64_t got[2];
+  for (uint64_t i = 0; i < kRecords; ++i) {
+    while (!ring.TryPop(got, 2)) std::this_thread::yield();
+    ASSERT_EQ(got[0], i);
+    ASSERT_EQ(got[1], i ^ 0x9e3779b97f4a7c15ull);
+  }
+  producer.join();
+  EXPECT_TRUE(ring.Empty());
+}
+
+// ------------------------------------------- bit-identity across families
+
+TEST(ShardedAnnotateTest, GridMatchesSequential) {
+  for (uint32_t s : kShardCounts) {
+    Instance inst = Grid(7, 9);
+    ExpectShardedMatchesSequential(inst, StaircaseNfa(1, 1), s);
+  }
+}
+
+TEST(ShardedAnnotateTest, BubbleChainMatchesSequential) {
+  for (uint32_t s : kShardCounts) {
+    Instance inst = BubbleChain(7, 2);
+    ExpectShardedMatchesSequential(inst, StaircaseNfa(2, 2), s);
+  }
+}
+
+TEST(ShardedAnnotateTest, StarOfChainsMatchesSequential) {
+  for (uint32_t s : kShardCounts) {
+    Instance inst = StarOfChains(9, 5, 2);
+    ExpectShardedMatchesSequential(inst, CompleteNfa(3, 2), s);
+  }
+}
+
+TEST(ShardedAnnotateTest, LayeredGraphMatchesSequential) {
+  for (uint32_t s : kShardCounts) {
+    for (uint64_t seed = 1; seed <= 3; ++seed) {
+      LayeredGraphParams params;
+      params.layers = 6;
+      params.width = 12;
+      params.edges_per_vertex = 3;
+      params.seed = seed;
+      SCOPED_TRACE("seed=" + std::to_string(seed));
+      Instance inst = LayeredGraph(params);
+      ExpectShardedMatchesSequential(inst, StaircaseNfa(2, 2), s);
+    }
+  }
+}
+
+TEST(ShardedAnnotateTest, DeadFanoutCertificatesMatchSequential) {
+  // The B-list machinery under sharding: every dead candidate's
+  // next-usable rows must merge bit-identically.
+  for (uint32_t s : kShardCounts) {
+    Instance inst = DeadFanout(13, 4);
+    ExpectShardedMatchesSequential(inst, ForkChainNfa(4), s);
+  }
+}
+
+TEST(ShardedAnnotateTest, EmbedInNoiseMatchesSequential) {
+  for (uint32_t s : kShardCounts) {
+    Instance inst = EmbedInNoise(BubbleChain(6, 2), 400, 1600, 7);
+    ExpectShardedMatchesSequential(inst, StaircaseNfa(2, 2), s);
+  }
+}
+
+TEST(ShardedAnnotateTest, ThompsonEpsilonQueryMatchesSequential) {
+  // Epsilon-NFA front-end: closure-saturated levels must still merge
+  // identically.
+  for (uint32_t s : kShardCounts) {
+    Instance inst = LayeredGraph({});
+    RegexParseResult ast = ParseRegex(ContainsL0Regex(2));
+    ASSERT_TRUE(ast.ok()) << ast.error();
+    Nfa thompson = ThompsonNfa(*ast.value(), inst.db.mutable_dict());
+    ASSERT_GT(thompson.num_epsilon_transitions(), 0u);
+    ExpectShardedMatchesSequential(inst, thompson, s);
+  }
+}
+
+TEST(ShardedAnnotateTest, UnreachableTargetMatchesSequential) {
+  // DeadFanout noise never reaches the target under a query demanding
+  // an l1 suffix the chain cannot provide: lambda must stay -1 and the
+  // levels empty on both paths.
+  Instance inst = DeadFanout(4, 3);
+  Nfa query(2);
+  query.AddInitial(0);
+  query.AddFinal(1);
+  query.AddTransition(0, 1u, 1);  // one l1 step, but source has none
+  query.AddTransition(1, 1u, 1);
+  for (uint32_t s : kShardCounts) {
+    SCOPED_TRACE("shards=" + std::to_string(s));
+    Snapshot snap = inst.db.Freeze();
+    AnnotateOptions opts;
+    opts.num_shards = s;
+    Annotation ann = Annotate(snap, query, inst.source, inst.target, opts);
+    EXPECT_EQ(ann.lambda, -1);
+    EXPECT_TRUE(ann.levels.empty());
+    TrimmedIndex index(snap, ann, opts);
+    EXPECT_TRUE(index.empty());
+  }
+}
+
+TEST(ShardedAnnotateTest, MoreShardsThanVerticesClampsToSequentialResult) {
+  Instance inst = BubbleChain(2, 2);
+  ExpectShardedMatchesSequential(inst, StaircaseNfa(1, 2), 64);
+}
+
+// --------------------------------------------------------- stress paths
+
+TEST(ShardedAnnotateStressTest, TinyRingsForceBackpressure) {
+  // Minimum-capacity rings: every push after the first blocks until the
+  // consumer drains, exercising the drain-while-retrying path
+  // constantly. Result must still be bit-identical.
+  Instance inst = EmbedInNoise(BubbleChain(6, 2), 300, 1500, 11);
+  const uint32_t wps = 1;  // 3-state staircase fits one word
+  ExpectShardedMatchesSequential(inst, StaircaseNfa(2, 2), 4, wps + 1);
+  Instance inst2 = Grid(8, 8);
+  ExpectShardedMatchesSequential(inst2, StaircaseNfa(1, 1), 3, 2);
+}
+
+TEST(ShardedAnnotateStressTest, ConcurrentShardedCallsShareOneSnapshot) {
+  // Two sharded Annotate+trim pipelines race over one frozen snapshot
+  // (pure reads of the graph; each call owns its threads). Under TSan
+  // this validates the atomic seen-bitmap and ring hand-off disciplines.
+  Instance inst = EmbedInNoise(BubbleChain(7, 2), 400, 1600, 13);
+  Snapshot snap = inst.db.Freeze();
+  Nfa query = StaircaseNfa(2, 2);
+  Annotation seq_ann = Annotate(snap, query, inst.source, inst.target);
+  TrimmedIndex seq_index(snap, seq_ann);
+
+  std::vector<std::thread> racers;
+  for (int r = 0; r < 2; ++r)
+    racers.emplace_back([&, r] {
+      AnnotateOptions opts;
+      opts.num_shards = 3 + static_cast<uint32_t>(r);
+      Annotation ann =
+          Annotate(snap, query, inst.source, inst.target, opts);
+      ExpectAnnotationsEqual(seq_ann, ann);
+      TrimmedIndex index(snap, ann, opts);
+      ExpectTrimmedEqual(seq_index, index);
+    });
+  for (std::thread& t : racers) t.join();
+}
+
+// ------------------------------------------------------------- engine
+
+TEST(ShardedAnnotateTest, EnginePrepareWithShardsEnumeratesIdentically) {
+  Instance inst = BubbleChain(8, 2);
+  Nfa query = StaircaseNfa(2, 2);
+  Snapshot snap = inst.db.Freeze();
+
+  QueryEngine engine(2);
+  engine.InstallSnapshot(snap);
+  QueryId seq_q = engine.Prepare(query, inst.source, inst.target);
+  AnnotateOptions opts;
+  opts.num_shards = 4;
+  QueryId shd_q = engine.Prepare(query, inst.source, inst.target, opts);
+
+  PumpResult seq_all = engine.Drain(engine.OpenSession(seq_q), 31);
+  PumpResult shd_all = engine.Drain(engine.OpenSession(shd_q), 31);
+  ASSERT_EQ(seq_all.status, PumpStatus::kExhausted);
+  ASSERT_EQ(shd_all.status, PumpStatus::kExhausted);
+  ASSERT_EQ(seq_all.walks.size(), shd_all.walks.size());
+  EXPECT_EQ(seq_all.walks.size(), 256u);  // 2^8 bubbles
+  for (size_t i = 0; i < seq_all.walks.size(); ++i)
+    EXPECT_EQ(seq_all.walks[i].edges, shd_all.walks[i].edges);
+}
+
+}  // namespace
+}  // namespace dsw

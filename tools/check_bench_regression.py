@@ -2,34 +2,45 @@
 """Threshold guard for the perf-smoke CI job.
 
 Compares a fresh google-benchmark JSON run against the committed
-baseline (BENCH_preprocessing.json) and fails when preprocessing
-throughput regressed by more than the threshold factor.
+baseline (e.g. BENCH_preprocessing.json) and fails when throughput
+regressed by more than the threshold factor.
 
 Two checks run, and either fails the job:
 
 1. Raw geomean of per-benchmark cpu_time ratios (new / baseline)
-   > THRESHOLD. This is the absolute >2x guard the acceptance criterion
+   > threshold. This is the absolute guard the acceptance criterion
    asks for. Caveat: the baseline was recorded on one machine and CI
    runners differ, so a uniformly slower runner shifts this metric
    one-for-one; if a runner generation change ever trips it with flat
    *normalized* ratios (check the log), refresh the committed baseline
-   from the job's uploaded artifact or bump DSW_BENCH_THRESHOLD.
+   from the job's uploaded artifact or raise --threshold.
 2. Worst *normalized* ratio (each benchmark's ratio divided by the
-   suite's median ratio) > THRESHOLD. Dividing out the median cancels
+   suite's median ratio) > threshold. Dividing out the median cancels
    any uniform machine-speed delta, so this catches a localized
    hot-path regression even on a runner much faster or slower than the
    baseline machine — and distinguishes "the runner is slow" (raw
    geomean high, normalized flat) from "one code path regressed"
    (normalized spike) at a glance.
 
-Usage: check_bench_regression.py BASELINE.json CURRENT.json [THRESHOLD]
-THRESHOLD defaults to 2.0, overridable via argv or DSW_BENCH_THRESHOLD.
+Usage:
+  check_bench_regression.py BASELINE.json CURRENT.json [THRESHOLD]
+  check_bench_regression.py BASELINE.json CURRENT.json --threshold 3.0
+  check_bench_regression.py --self-test
+
+The threshold defaults to 2.0; a bare positional third argument is the
+legacy spelling of --threshold, and DSW_BENCH_THRESHOLD overrides the
+default when neither is given. --self-test runs the checker against
+synthetic fixtures (flat run passes, uniform slowdown trips the
+geomean, a single spike trips the normalized check) and exits nonzero
+on any surprise — CI runs it so the guard itself is guarded.
 """
 
+import argparse
 import json
 import math
 import os
 import sys
+import tempfile
 
 
 def load_times(path):
@@ -53,15 +64,10 @@ def median(values):
     return 0.5 * (ordered[mid - 1] + ordered[mid])
 
 
-def main(argv):
-    if len(argv) < 3:
-        print(__doc__)
-        return 2
-    baseline = load_times(argv[1])
-    current = load_times(argv[2])
-    threshold = float(
-        argv[3] if len(argv) > 3 else os.environ.get("DSW_BENCH_THRESHOLD", "2.0")
-    )
+def check(baseline_path, current_path, threshold):
+    """The comparison proper; returns a process exit code."""
+    baseline = load_times(baseline_path)
+    current = load_times(current_path)
 
     common = sorted(set(baseline) & set(current))
     if not common:
@@ -103,6 +109,83 @@ def main(argv):
         return 1
     print("OK")
     return 0
+
+
+# ------------------------------------------------------------ self-test
+
+def _fixture(path, times):
+    """Writes a minimal google-benchmark JSON with the given cpu_times."""
+    benches = [{"name": n, "run_type": "iteration", "cpu_time": t,
+                "real_time": t, "time_unit": "ns"}
+               for n, t in times.items()]
+    with open(path, "w") as f:
+        json.dump({"context": {}, "benchmarks": benches}, f)
+
+
+def self_test():
+    base_times = {"BM_a/1": 100.0, "BM_a/2": 200.0,
+                  "BM_b/1": 1000.0, "BM_b/2": 4000.0, "BM_c": 50.0}
+    cases = [
+        # (label, current times, threshold, expected exit code)
+        ("flat run passes", dict(base_times), 2.0, 0),
+        ("mild uniform drift passes",
+         {n: t * 1.4 for n, t in base_times.items()}, 2.0, 0),
+        ("uniform 3x slowdown trips the geomean",
+         {n: t * 3.0 for n, t in base_times.items()}, 2.0, 1),
+        ("single 5x spike trips the normalized check",
+         {**base_times, "BM_b/2": base_times["BM_b/2"] * 5.0}, 2.0, 1),
+        ("--threshold 6 tolerates the same spike",
+         {**base_times, "BM_b/2": base_times["BM_b/2"] * 5.0}, 6.0, 0),
+        ("missing benchmarks only warn",
+         {n: t for n, t in base_times.items() if n != "BM_c"}, 2.0, 0),
+        ("disjoint suites are an error", {"BM_other": 10.0}, 2.0, 1),
+    ]
+    failures = 0
+    with tempfile.TemporaryDirectory() as tmp:
+        base_path = os.path.join(tmp, "base.json")
+        cur_path = os.path.join(tmp, "cur.json")
+        _fixture(base_path, base_times)
+        for label, cur_times, threshold, expected in cases:
+            _fixture(cur_path, cur_times)
+            print(f"--- self-test: {label} (expect exit {expected}) ---")
+            got = check(base_path, cur_path, threshold)
+            if got != expected:
+                print(f"SELF-TEST FAIL: {label}: exit {got}, "
+                      f"expected {expected}")
+                failures += 1
+            print()
+    if failures:
+        print(f"self-test: {failures}/{len(cases)} cases FAILED")
+        return 1
+    print(f"self-test: all {len(cases)} cases passed")
+    return 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("baseline", nargs="?", help="committed baseline JSON")
+    parser.add_argument("current", nargs="?", help="fresh run JSON")
+    parser.add_argument("legacy_threshold", nargs="?", type=float,
+                        help="legacy positional spelling of --threshold")
+    parser.add_argument("--threshold", type=float, default=None,
+                        help="regression factor that fails the job "
+                             "(default 2.0, or DSW_BENCH_THRESHOLD)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the checker against synthetic fixtures")
+    args = parser.parse_args(argv[1:])
+
+    if args.self_test:
+        return self_test()
+    if args.baseline is None or args.current is None:
+        parser.print_usage()
+        return 2
+    threshold = args.threshold
+    if threshold is None:
+        threshold = args.legacy_threshold
+    if threshold is None:
+        threshold = float(os.environ.get("DSW_BENCH_THRESHOLD", "2.0"))
+    return check(args.baseline, args.current, threshold)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Runs one google-benchmark binary with JSON output, papering over the
+# --benchmark_min_time syntax change: the "s" (seconds) suffix needs
+# google-benchmark >= 1.8; older libraries want a plain double. (Never
+# the "x" suffix: it is an *iteration count*, and a fractional one
+# truncates to 0 iterations on >= 1.8, yielding garbage cpu_times.)
+#
+# Usage: tools/run_bench.sh <bench-binary> <min-time-seconds> <out-json>
+set -u
+
+if [ "$#" -ne 3 ]; then
+  echo "usage: $0 <bench-binary> <min-time-seconds> <out-json>" >&2
+  exit 2
+fi
+
+bin="$1"
+min_time="$2"
+out="$3"
+
+"$bin" --benchmark_min_time="${min_time}s" \
+       --benchmark_format=console \
+       --benchmark_out_format=json \
+       --benchmark_out="$out" \
+|| "$bin" --benchmark_min_time="$min_time" \
+       --benchmark_format=console \
+       --benchmark_out_format=json \
+       --benchmark_out="$out"
