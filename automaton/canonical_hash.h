@@ -1,0 +1,106 @@
+// Canonical structural form of a compiled automaton — the back half of
+// the plan cache's key (regex/canonical.h is the front half). The NFA
+// is serialized into a deterministic byte string (state count, sorted
+// initial/final state lists, sorted+deduped labeled transitions, sorted
+// +deduped epsilon transitions) and hashed with FNV-1a 64.
+//
+// Queries that canonicalize to the same regex AST compile — through the
+// same front-end and label dictionary — to automata whose construction
+// order is identical, so their serializations are byte-equal and they
+// land on one cache entry. The cache stores the *bytes*, not just the
+// hash: lookups compare serializations exactly, so a 64-bit hash
+// collision costs one extra string compare, never a wrong plan.
+//
+// Sorting makes the form insensitive to transition *insertion order* as
+// a robustness margin (two construction paths that emit the same
+// transition set in different orders still collide); it does not try to
+// decide automaton equivalence — distinct state graphs for the same
+// language stay distinct, which only costs a duplicate cache entry.
+
+#ifndef DSW_AUTOMATON_CANONICAL_HASH_H_
+#define DSW_AUTOMATON_CANONICAL_HASH_H_
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/nfa.h"
+
+namespace dsw {
+
+struct CanonicalAutomaton {
+  std::string bytes;  // exact structural serialization; equality key
+  uint64_t hash = 0;  // FNV-1a 64 of bytes; bucketing only
+};
+
+namespace canonical_hash_detail {
+
+inline void PutU32(std::string* out, uint32_t v) {
+  // Little-endian, explicitly — the bytes are an equality key within
+  // one process, but a deterministic layout keeps dumps diffable.
+  out->push_back(static_cast<char>(v & 0xff));
+  out->push_back(static_cast<char>((v >> 8) & 0xff));
+  out->push_back(static_cast<char>((v >> 16) & 0xff));
+  out->push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+inline uint64_t Fnv1a64(const std::string& bytes) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (char c : bytes) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace canonical_hash_detail
+
+/// Serializes \p nfa's structure into a deterministic byte string and
+/// hashes it. O(|A| log |A|) for the transition sort.
+inline CanonicalAutomaton CanonicalizeAutomaton(const Nfa& nfa) {
+  using canonical_hash_detail::PutU32;
+  const uint32_t n = nfa.num_states();
+
+  std::vector<uint32_t> initial, final_list;
+  for (uint32_t q = 0; q < n; ++q) {
+    if (nfa.initial().Test(q)) initial.push_back(q);
+    if (nfa.IsFinal(q)) final_list.push_back(q);
+  }
+
+  std::vector<std::array<uint32_t, 3>> trans;
+  trans.reserve(nfa.num_transitions());
+  std::vector<std::array<uint32_t, 2>> eps;
+  eps.reserve(nfa.num_epsilon_transitions());
+  for (uint32_t q = 0; q < n; ++q) {
+    for (const auto& [label, to] : nfa.Transitions(q))
+      trans.push_back({q, label, to});
+    for (uint32_t to : nfa.EpsilonSuccessors(q)) eps.push_back({q, to});
+  }
+  std::sort(trans.begin(), trans.end());
+  trans.erase(std::unique(trans.begin(), trans.end()), trans.end());
+  std::sort(eps.begin(), eps.end());
+  eps.erase(std::unique(eps.begin(), eps.end()), eps.end());
+
+  CanonicalAutomaton out;
+  out.bytes.reserve(4 * (3 + initial.size() + final_list.size() +
+                         3 * trans.size() + 2 * eps.size() + 2));
+  PutU32(&out.bytes, n);
+  PutU32(&out.bytes, static_cast<uint32_t>(initial.size()));
+  for (uint32_t q : initial) PutU32(&out.bytes, q);
+  PutU32(&out.bytes, static_cast<uint32_t>(final_list.size()));
+  for (uint32_t q : final_list) PutU32(&out.bytes, q);
+  PutU32(&out.bytes, static_cast<uint32_t>(trans.size()));
+  for (const auto& t : trans)
+    for (uint32_t v : t) PutU32(&out.bytes, v);
+  PutU32(&out.bytes, static_cast<uint32_t>(eps.size()));
+  for (const auto& e : eps)
+    for (uint32_t v : e) PutU32(&out.bytes, v);
+  out.hash = canonical_hash_detail::Fnv1a64(out.bytes);
+  return out;
+}
+
+}  // namespace dsw
+
+#endif  // DSW_AUTOMATON_CANONICAL_HASH_H_

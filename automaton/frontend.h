@@ -1,0 +1,78 @@
+// Per-query front-end selection: compile a regex AST through Thompson
+// or Glushkov, whichever yields the cheaper automaton for the
+// word-parallel pipeline — the E9 follow-up turned into a policy.
+//
+// E9's finding: Thompson's O(|R|) epsilon-NFA wins end-to-end at small
+// m (atom count), but from m >= 32 the Glushkov pipeline edges ahead —
+// epsilon-closures enlarge Thompson's per-vertex annotated sets, and
+// what actually drives annotate/trim cost in this codebase is
+// words_per_set = ceil(|Q| / 64): every frontier move, delta-row OR and
+// trim sweep is linear in machine *words*, not states. So the heuristic
+// compares the two constructions' state counts in words: Thompson is
+// built first (O(|R|), exact state count for free), and we switch to
+// Glushkov's m + 1 position states iff they pack into strictly fewer
+// words. At m = 32 that is exactly the measured crossover: Glushkov's
+// 33 states fit one word while Thompson's ~2m epsilon-machine needs
+// two. Ties keep Thompson — same word cost, and its O(|R|) build is
+// cheaper than Glushkov's O(|R|^2).
+//
+// CompileRegex canonicalizes first (regex/canonical.h), so equivalent
+// queries make the same choice and produce byte-identical automata —
+// which is what lets the plan cache key on the canonical automaton
+// serialization (automaton/canonical_hash.h).
+
+#ifndef DSW_AUTOMATON_FRONTEND_H_
+#define DSW_AUTOMATON_FRONTEND_H_
+
+#include <memory>
+#include <utility>
+
+#include "automaton/glushkov.h"
+#include "automaton/thompson.h"
+#include "core/database.h"
+#include "core/nfa.h"
+#include "regex/canonical.h"
+#include "regex/regex_parser.h"
+#include "util/state_set.h"
+
+namespace dsw {
+
+enum class Frontend {
+  kThompson,  // O(|R|) epsilon-NFA
+  kGlushkov,  // O(|R|^2) epsilon-free position NFA, |R| + 1 states
+};
+
+struct CompiledRegex {
+  Nfa nfa;
+  Frontend frontend = Frontend::kThompson;
+  std::unique_ptr<RegexNode> canonical;  // normalized AST the nfa was built from
+};
+
+/// Canonicalizes \p ast and compiles it through the front-end the size
+/// heuristic picks, interning labels through \p dict. Deterministic:
+/// equivalent ASTs yield the same choice and a byte-identical automaton.
+inline CompiledRegex CompileRegex(const RegexNode& ast,
+                                  LabelDictionary* dict) {
+  CompiledRegex out;
+  out.canonical = CanonicalizeRegex(ast);
+  // Thompson first: O(|R|) build, and its state count is the other half
+  // of the comparison. Both constructions intern the same label set, so
+  // building Thompson before deciding leaves the dictionary identical
+  // either way.
+  Nfa thompson = ThompsonNfa(*out.canonical, dict);
+  const uint32_t glushkov_states =
+      static_cast<uint32_t>(out.canonical->NumAtoms()) + 1;
+  if (state_set_detail::WordsFor(glushkov_states) <
+      state_set_detail::WordsFor(thompson.num_states())) {
+    out.nfa = GlushkovNfa(*out.canonical, dict);
+    out.frontend = Frontend::kGlushkov;
+  } else {
+    out.nfa = std::move(thompson);
+    out.frontend = Frontend::kThompson;
+  }
+  return out;
+}
+
+}  // namespace dsw
+
+#endif  // DSW_AUTOMATON_FRONTEND_H_

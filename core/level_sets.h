@@ -75,6 +75,12 @@ class LevelSets {
               words_.begin() + pos * words_per_set_);
   }
 
+  /// Heap footprint estimate, for the plan cache's byte budget.
+  size_t ApproxBytes() const {
+    return vertices_.capacity() * sizeof(uint32_t) +
+           words_.capacity() * sizeof(uint64_t);
+  }
+
  private:
   uint32_t num_bits_ = 0;
   uint32_t words_per_set_ = 0;

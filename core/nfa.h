@@ -227,6 +227,14 @@ class CompiledDelta {
             num_states_};
   }
 
+  /// Heap footprint estimate, for the plan cache's byte budget.
+  size_t ApproxBytes() const {
+    return (words_.capacity() + rev_words_.capacity() +
+            sources_.capacity()) *
+               sizeof(uint64_t) +
+           label_used_.capacity();
+  }
+
  private:
   uint64_t* MutableRow(std::vector<uint64_t>& pool, uint32_t label,
                        uint32_t q) {

@@ -182,6 +182,20 @@ class ResumableIndex {
             pool_.data() + cand_end_[slot]};
   }
 
+  /// Heap footprint estimate (including the owned TrimmedIndex), for
+  /// the plan cache's byte budget.
+  size_t ApproxBytes() const {
+    auto u32 = [](const std::vector<uint32_t>& v) {
+      return v.capacity() * sizeof(uint32_t);
+    };
+    return sizeof(ResumableIndex) - sizeof(TrimmedIndex) +
+           trimmed_.ApproxBytes() + pool_.capacity() * sizeof(Candidate) +
+           u32(level_base_) + u32(level_) + u32(vertex_) + u32(cand_begin_) +
+           u32(cand_end_) + u32(span_begin_) + u32(span_len_) +
+           u32(rank_begin_) + u32(rank_pool_) + u32(edge_tgt_) +
+           u32(vertex_slot_off_) + u32(vertex_slots_);
+  }
+
  private:
   TrimmedIndex trimmed_;
 

@@ -213,6 +213,18 @@ class TrimmedIndex {
                  useful_[level].states(pos)};
   }
 
+  /// Heap footprint estimate, for the plan cache's byte budget.
+  size_t ApproxBytes() const {
+    size_t bytes = sizeof(TrimmedIndex) +
+                   cand_pool_.capacity() * sizeof(CandidateEdge) +
+                   nxt_pool_.capacity() * sizeof(uint32_t);
+    for (const LevelSets& lvl : useful_) bytes += lvl.ApproxBytes();
+    for (const auto& r : cand_ranges_)
+      bytes += r.capacity() * sizeof(std::pair<uint32_t, uint32_t>);
+    for (const auto& o : blist_off_) bytes += o.capacity() * sizeof(size_t);
+    return bytes;
+  }
+
   /// Candidate edges out of \p v at \p level (level < lambda). Empty for
   /// vertices with no useful states.
   std::span<const CandidateEdge> Candidates(uint32_t level,

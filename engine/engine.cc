@@ -2,30 +2,55 @@
 
 #include <algorithm>
 #include <cassert>
+#include <list>
 #include <unordered_map>
 #include <utility>
 
+#include "automaton/canonical_hash.h"
 #include "core/resumable_enumerator.h"
+#include "regex/regex_parser.h"
 
 namespace dsw {
 
-// Holds the shared_ptr alongside the enumerator: a cached enumerator
-// must never outlive its prepared query, even after the engine's own
-// query table dropped it.
+// Bounded per-worker enumerator LRU. Holds the shared_ptr alongside the
+// enumerator: a cached enumerator must never outlive its prepared
+// query, even after the engine's own query table dropped it. The cap
+// (EngineOptions::worker_cache_entries) keeps a long-lived worker from
+// accumulating one enumerator per distinct prepared query within a
+// generation; sessions are memoryless, so an eviction costs one rebuild
+// on the victim's next pump, never a wrong resume.
 struct QueryEngine::WorkerCache {
   struct Entry {
     std::shared_ptr<const PreparedQuery> query;
     std::unique_ptr<ResumableEnumerator> en;
+    std::list<const PreparedQuery*>::iterator lru_it;
   };
+
+  WorkerCache(uint32_t capacity, std::atomic<uint64_t>* evictions)
+      : capacity(std::max(capacity, 1u)), evictions(evictions) {}
+
+  uint32_t capacity;
+  std::atomic<uint64_t>* evictions;
   std::unordered_map<const PreparedQuery*, Entry> entries;
+  std::list<const PreparedQuery*> lru;  // front = hottest
 
   ResumableEnumerator& Get(const std::shared_ptr<const PreparedQuery>& q) {
-    Entry& e = entries[q.get()];
-    if (!e.en) {
-      e.query = q;
-      e.en = std::make_unique<ResumableEnumerator>(q->ann, q->index,
-                                                   q->source, q->target);
+    auto it = entries.find(q.get());
+    if (it != entries.end()) {
+      lru.splice(lru.begin(), lru, it->second.lru_it);
+      return *it->second.en;
     }
+    if (entries.size() >= capacity) {
+      entries.erase(lru.back());
+      lru.pop_back();
+      evictions->fetch_add(1, std::memory_order_relaxed);
+    }
+    Entry& e = entries[q.get()];
+    e.query = q;
+    e.en = std::make_unique<ResumableEnumerator>(q->ann, q->index, q->source,
+                                                 q->target);
+    lru.push_front(q.get());
+    e.lru_it = lru.begin();
     return *e.en;
   }
 
@@ -34,16 +59,20 @@ struct QueryEngine::WorkerCache {
   void EvictOtherGenerations(const Database* db, uint64_t gen) {
     for (auto it = entries.begin(); it != entries.end();) {
       const Snapshot& s = it->second.query->snap;
-      if (&s.db() != db || s.generation() != gen)
+      if (&s.db() != db || s.generation() != gen) {
+        lru.erase(it->second.lru_it);
         it = entries.erase(it);
-      else
+      } else {
         ++it;
+      }
     }
   }
 };
 
-QueryEngine::QueryEngine(uint32_t num_threads) {
-  if (num_threads == 0) num_threads = 1;
+QueryEngine::QueryEngine(const EngineOptions& options)
+    : worker_cache_entries_(std::max(options.worker_cache_entries, 1u)),
+      cache_(options.plan_cache_bytes) {
+  uint32_t num_threads = std::max(options.num_threads, 1u);
   workers_.reserve(num_threads);
   for (uint32_t i = 0; i < num_threads; ++i)
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -63,13 +92,27 @@ QueryEngine::~QueryEngine() {
 
 void QueryEngine::InstallSnapshot(Snapshot snap) {
   assert(static_cast<bool>(snap) && "InstallSnapshot: null snapshot");
-  std::lock_guard<std::mutex> lock(mu_);
-  installed_db_ = &snap.db();
-  installed_gen_ = snap.generation();
-  snapshot_ = std::move(snap);
-  // Sessions pinned to older generations are retired lazily, at their
-  // next pump — nothing to do here; the (db, generation) compare in the
-  // worker is the whole mechanism.
+  const Database* db = &snap.db();
+  const uint64_t gen = snap.generation();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    installed_db_ = db;
+    installed_gen_ = gen;
+    snapshot_ = std::move(snap);
+    // Sessions pinned to older generations are retired lazily, at their
+    // next pump — nothing to do here; the (db, generation) compare in
+    // the worker is the whole mechanism.
+  }
+  // Plan entries of other generations can never be served again (keys
+  // carry the generation); drop them eagerly. Outside mu_ — the cache
+  // has its own lock and the two are never held together.
+  cache_.Invalidate(db, gen);
+}
+
+QueryId QueryEngine::RegisterLocked(
+    std::shared_ptr<const PreparedQuery> prepared) {
+  queries_.push_back(std::move(prepared));
+  return static_cast<QueryId>(queries_.size() - 1);
 }
 
 QueryId QueryEngine::Prepare(const Nfa& query, uint32_t source,
@@ -81,14 +124,81 @@ QueryId QueryEngine::Prepare(const Nfa& query, uint32_t source,
            "Prepare: no snapshot installed");
     snap = snapshot_;
   }
+  CanonicalAutomaton canon = CanonicalizeAutomaton(query);
+  PlanKey key{&snap.db(), snap.generation(), canon.hash,
+              std::move(canon.bytes), source, target};
   // The expensive build (annotate + trim + queue construction) runs
-  // outside the lock: Prepare from several threads proceeds in
-  // parallel, all against the same frozen snapshot.
-  auto prepared = std::make_shared<const PreparedQuery>(
-      std::move(snap), query, source, target, opts);
+  // outside both the engine and the cache lock: misses on different
+  // keys proceed in parallel, all against the same frozen snapshot;
+  // misses on the SAME key build once (single-flight).
+  std::shared_ptr<const PreparedQuery> prepared = cache_.GetOrBuild(
+      key, [&snap, &query, source, target, &opts] {
+        return std::make_shared<const PreparedQuery>(snap, query, source,
+                                                     target, opts);
+      });
   std::lock_guard<std::mutex> lock(mu_);
-  queries_.push_back(std::move(prepared));
-  return static_cast<QueryId>(queries_.size() - 1);
+  return RegisterLocked(std::move(prepared));
+}
+
+std::vector<QueryId> QueryEngine::PrepareBatch(
+    const Nfa& query, const std::vector<uint32_t>& sources, uint32_t target,
+    const AnnotateOptions& opts) {
+  Snapshot snap;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    assert(static_cast<bool>(snapshot_) &&
+           "PrepareBatch: no snapshot installed");
+    snap = snapshot_;
+  }
+  CanonicalAutomaton canon = CanonicalizeAutomaton(query);
+  std::vector<PlanKey> keys;
+  keys.reserve(sources.size());
+  for (uint32_t s : sources)
+    keys.push_back(PlanKey{&snap.db(), snap.generation(), canon.hash,
+                           canon.bytes, s, target});
+  // All claimed (absent) sources share ONE block-replicated product BFS;
+  // each slice is bit-identical to a per-source Annotate, so cache
+  // entries filled here and by single Prepare() are interchangeable.
+  std::vector<PlanCache::Value> values = cache_.GetOrBuildBatch(
+      keys, [&snap, &query, &sources, target,
+             &opts](const std::vector<size_t>& idx) {
+        std::vector<uint32_t> batch_sources;
+        batch_sources.reserve(idx.size());
+        for (size_t i : idx) batch_sources.push_back(sources[i]);
+        MultiSourceAnnotation ms =
+            AnnotateMultiSource(snap, query, batch_sources, target, opts);
+        std::vector<PlanCache::Value> built;
+        built.reserve(idx.size());
+        for (size_t j = 0; j < idx.size(); ++j)
+          built.push_back(std::make_shared<const PreparedQuery>(
+              snap, ms.Slice(j), opts));
+        return built;
+      });
+  std::vector<QueryId> ids;
+  ids.reserve(values.size());
+  std::lock_guard<std::mutex> lock(mu_);
+  for (PlanCache::Value& v : values) ids.push_back(RegisterLocked(std::move(v)));
+  return ids;
+}
+
+PrepareRegexResult QueryEngine::PrepareRegex(std::string_view pattern,
+                                             LabelDictionary* dict,
+                                             uint32_t source, uint32_t target,
+                                             const AnnotateOptions& opts) {
+  PrepareRegexResult result;
+  RegexParseResult parsed = ParseRegex(pattern);
+  if (!parsed.ok()) {
+    result.error = parsed.error();
+    return result;
+  }
+  CompiledRegex compiled = CompileRegex(*parsed.value(), dict);
+  result.frontend = compiled.frontend;
+  (compiled.frontend == Frontend::kThompson ? frontend_thompson_
+                                            : frontend_glushkov_)
+      .fetch_add(1, std::memory_order_relaxed);
+  result.id = Prepare(compiled.nfa, source, target, opts);
+  result.ok = true;
+  return result;
 }
 
 SessionId QueryEngine::OpenSession(QueryId query) {
@@ -151,6 +261,20 @@ std::vector<int64_t> QueryEngine::FirstAnswerLatenciesNs() const {
   return first_answer_ns_;
 }
 
+EngineStats QueryEngine::Stats() const {
+  EngineStats stats;
+  stats.plan_cache = cache_.Stats();
+  stats.worker_cache_evictions =
+      worker_cache_evictions_.load(std::memory_order_relaxed);
+  stats.frontend_thompson =
+      frontend_thompson_.load(std::memory_order_relaxed);
+  stats.frontend_glushkov =
+      frontend_glushkov_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  stats.sessions_retired = sessions_retired_;
+  return stats;
+}
+
 PumpResult QueryEngine::RunBatch(
     WorkerCache& cache, const std::shared_ptr<const PreparedQuery>& query,
     const Walk& last, bool started, uint32_t max_answers,
@@ -185,7 +309,7 @@ PumpResult QueryEngine::RunBatch(
 }
 
 void QueryEngine::WorkerLoop() {
-  WorkerCache cache;
+  WorkerCache cache(worker_cache_entries_, &worker_cache_evictions_);
   for (;;) {
     Job job;
     std::shared_ptr<const PreparedQuery> query;
@@ -204,6 +328,7 @@ void QueryEngine::WorkerLoop() {
           pinned.generation() != installed_gen_) {
         // Graceful rejection: the stale index is never touched.
         s.state = SessionState::kRetired;
+        ++sessions_retired_;
         const Database* live_db = installed_db_;
         uint64_t live_gen = installed_gen_;
         lock.unlock();

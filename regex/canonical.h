@@ -1,0 +1,176 @@
+// Regex-AST canonicalizer: rewrites a parsed RPQ into a normal form so
+// that *textually different but equivalent* queries produce the same
+// tree — the front half of the plan cache's key. Two queries whose
+// canonical ASTs are equal compile (through the same front-end) to
+// byte-identical automata, so they collide on one cached prepared
+// structure instead of paying two O(|D| x |A|) preprocessing runs.
+//
+// The normal form applies the cheap, sound rewrites:
+//
+//  - associativity: nested concatenations and alternations are
+//    flattened into their parent ("a (b c)" == "(a b) c" == "a b c");
+//  - commutativity of |: alternands are sorted by their canonical
+//    printed form ("b|a" == "a|b");
+//  - idempotence of |: duplicate alternands are removed ("a|b|a" ==
+//    "a|b"), and a one-element alternation collapses to its element;
+//  - repetition-stack collapse: two stacked repetition operators reduce
+//    to one. Same operator twice keeps it ((x*)* == x*, (x+)+ == x+,
+//    (x?)? == x?); any *mixed* pair is x* — each mix accepts both the
+//    empty word and every positive iteration ((x+)? == (x?)+ == (x*)?
+//    == ... == x*). Canonical trees therefore never stack repetitions.
+//
+// The grammar has no epsilon/empty-set literals (regex_parser.h rejects
+// empty branches), so the classic eps/emptyset identities (eps . x = x,
+// emptyset | x = x, ...) have no source-level representation to
+// collapse — flattening plus the rules above is the complete identity
+// set for this AST. The normalizer is sound (every rewrite preserves
+// the accepted language) but deliberately not complete: distributivity,
+// (x|y)* vs (x* y*)* and friends are semantic equivalences a structural
+// cache key does not chase — a miss there costs one redundant build,
+// never a wrong answer.
+//
+// CanonicalPattern prints the canonical tree fully parenthesized; the
+// output reparses to the same tree, which the tests use to round-trip.
+
+#ifndef DSW_REGEX_CANONICAL_H_
+#define DSW_REGEX_CANONICAL_H_
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "regex/regex_parser.h"
+
+namespace dsw {
+
+/// Canonical fully-parenthesized rendering of \p node: atoms bare,
+/// concatenations "(a b)", alternations "(a|b)", repetitions postfix on
+/// the printed child. Reparses to an equal tree; equal strings <=>
+/// equal trees, so this doubles as the child sort/dedup key.
+inline std::string CanonicalPattern(const RegexNode& node) {
+  switch (node.kind) {
+    case RegexNode::Kind::kAtom:
+      return node.label;
+    case RegexNode::Kind::kConcat:
+    case RegexNode::Kind::kAlternation: {
+      const char sep = node.kind == RegexNode::Kind::kConcat ? ' ' : '|';
+      std::string out = "(";
+      for (size_t i = 0; i < node.children.size(); ++i) {
+        if (i > 0) out += sep;
+        out += CanonicalPattern(*node.children[i]);
+      }
+      out += ')';
+      return out;
+    }
+    case RegexNode::Kind::kStar:
+      return CanonicalPattern(*node.children.front()) + "*";
+    case RegexNode::Kind::kPlus:
+      return CanonicalPattern(*node.children.front()) + "+";
+    case RegexNode::Kind::kOptional:
+      return CanonicalPattern(*node.children.front()) + "?";
+  }
+  return {};  // unreachable; silences -Wreturn-type
+}
+
+namespace canonical_detail {
+
+inline bool IsRepetition(RegexNode::Kind k) {
+  return k == RegexNode::Kind::kStar || k == RegexNode::Kind::kPlus ||
+         k == RegexNode::Kind::kOptional;
+}
+
+inline std::unique_ptr<RegexNode> Make(
+    RegexNode::Kind kind, std::vector<std::unique_ptr<RegexNode>> children) {
+  auto node = std::make_unique<RegexNode>();
+  node->kind = kind;
+  node->children = std::move(children);
+  return node;
+}
+
+inline std::unique_ptr<RegexNode> Canonicalize(const RegexNode& node) {
+  switch (node.kind) {
+    case RegexNode::Kind::kAtom: {
+      auto atom = std::make_unique<RegexNode>();
+      atom->kind = RegexNode::Kind::kAtom;
+      atom->label = node.label;
+      return atom;
+    }
+    case RegexNode::Kind::kConcat: {
+      // Canonicalize children, splicing nested concatenations in place
+      // (associativity). Canonical children are never concatenations
+      // themselves, so one level of splicing flattens completely.
+      std::vector<std::unique_ptr<RegexNode>> parts;
+      for (const auto& child : node.children) {
+        std::unique_ptr<RegexNode> c = Canonicalize(*child);
+        if (c->kind == RegexNode::Kind::kConcat) {
+          for (auto& grand : c->children) parts.push_back(std::move(grand));
+        } else {
+          parts.push_back(std::move(c));
+        }
+      }
+      if (parts.size() == 1) return std::move(parts.front());
+      return Make(RegexNode::Kind::kConcat, std::move(parts));
+    }
+    case RegexNode::Kind::kAlternation: {
+      // Flatten (associativity), then sort by canonical form
+      // (commutativity) and drop duplicates (idempotence).
+      std::vector<std::unique_ptr<RegexNode>> branches;
+      for (const auto& child : node.children) {
+        std::unique_ptr<RegexNode> c = Canonicalize(*child);
+        if (c->kind == RegexNode::Kind::kAlternation) {
+          for (auto& grand : c->children)
+            branches.push_back(std::move(grand));
+        } else {
+          branches.push_back(std::move(c));
+        }
+      }
+      std::vector<std::pair<std::string, std::unique_ptr<RegexNode>>> keyed;
+      keyed.reserve(branches.size());
+      for (auto& b : branches)
+        keyed.emplace_back(CanonicalPattern(*b), std::move(b));
+      std::sort(keyed.begin(), keyed.end(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
+      std::vector<std::unique_ptr<RegexNode>> unique;
+      for (auto& [key, b] : keyed)
+        if (unique.empty() || key != CanonicalPattern(*unique.back()))
+          unique.push_back(std::move(b));
+      if (unique.size() == 1) return std::move(unique.front());
+      return Make(RegexNode::Kind::kAlternation, std::move(unique));
+    }
+    case RegexNode::Kind::kStar:
+    case RegexNode::Kind::kPlus:
+    case RegexNode::Kind::kOptional: {
+      std::unique_ptr<RegexNode> c = Canonicalize(*node.children.front());
+      if (IsRepetition(c->kind)) {
+        // Collapse the stack: same operator keeps it, mixed pairs are
+        // star (see the header comment). The canonical child c never
+        // stacks repetitions itself, so the result doesn't either.
+        RegexNode::Kind combined =
+            c->kind == node.kind ? node.kind : RegexNode::Kind::kStar;
+        if (combined == c->kind) return c;  // (x*)? == x*: reuse the child
+        c->kind = combined;
+        return c;
+      }
+      std::vector<std::unique_ptr<RegexNode>> child;
+      child.push_back(std::move(c));
+      return Make(node.kind, std::move(child));
+    }
+  }
+  return nullptr;  // unreachable; silences -Wreturn-type
+}
+
+}  // namespace canonical_detail
+
+/// Returns the canonical form of \p node as a fresh tree (the input is
+/// not modified). Equivalent-by-the-identities inputs yield structurally
+/// equal outputs; CanonicalPattern on the result is the string form of
+/// the same key.
+inline std::unique_ptr<RegexNode> CanonicalizeRegex(const RegexNode& node) {
+  return canonical_detail::Canonicalize(node);
+}
+
+}  // namespace dsw
+
+#endif  // DSW_REGEX_CANONICAL_H_

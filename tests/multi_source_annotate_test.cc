@@ -1,0 +1,185 @@
+// Multi-source prefix sharing (core/annotate.h AnnotateMultiSource):
+// one block-replicated product BFS must be *bit-identical* to running
+// Annotate once per source — not answer-equal, word-for-word equal.
+// Slice(j) is compared against the per-source Annotation field by
+// field: lambda, level count, each level's sorted vertex array, and
+// every state-set word. On top of the representation check, the sliced
+// annotations drive the full trim + enumerate pipeline and must emit
+// the per-source walk sequences in the same order.
+//
+// Families x queries sweep the BFS's behavioral corners: sources with
+// different lambdas (early per-block deactivation), unreachable and
+// out-of-range sources (lambda = -1), duplicate sources (independent
+// identical blocks), source == target (lambda 0), epsilon automata
+// (Thompson), and > 64 product states (multi-word blocks).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "automaton/glushkov.h"
+#include "automaton/thompson.h"
+#include "core/annotate.h"
+#include "core/resumable_enumerator.h"
+#include "core/resumable_index.h"
+#include "regex/regex_parser.h"
+#include "workload/generators.h"
+#include "workload/queries.h"
+
+namespace dsw {
+namespace {
+
+// Word-level equality of a multi-source slice against the per-source
+// ground truth.
+void ExpectBitIdentical(const Annotation& got, const Annotation& want,
+                        uint32_t source) {
+  SCOPED_TRACE("source " + std::to_string(source));
+  ASSERT_EQ(got.num_states, want.num_states);
+  EXPECT_EQ(got.source, want.source);
+  EXPECT_EQ(got.target, want.target);
+  EXPECT_EQ(got.lambda, want.lambda);
+  ASSERT_EQ(got.levels.size(), want.levels.size());
+  for (size_t lvl = 0; lvl < want.levels.size(); ++lvl) {
+    SCOPED_TRACE("level " + std::to_string(lvl));
+    const LevelSets& g = got.levels[lvl];
+    const LevelSets& w = want.levels[lvl];
+    ASSERT_EQ(g.words_per_set(), w.words_per_set());
+    ASSERT_EQ(g.vertices(), w.vertices());
+    for (size_t i = 0; i < w.size(); ++i) {
+      const uint64_t* gw = g.states(i).words();
+      const uint64_t* ww = w.states(i).words();
+      for (uint32_t k = 0; k < w.words_per_set(); ++k)
+        ASSERT_EQ(gw[k], ww[k]) << "vertex " << w.vertex(i) << " word " << k;
+    }
+  }
+}
+
+std::vector<std::vector<uint32_t>> Enumerate(const Snapshot& snap,
+                                             const Annotation& ann) {
+  std::vector<std::vector<uint32_t>> out;
+  if (!ann.reachable()) return out;
+  ResumableIndex index(snap, ann);
+  for (ResumableEnumerator en(ann, index, ann.source, ann.target);
+       en.Valid(); en.Next())
+    out.push_back(en.walk().edges);
+  return out;
+}
+
+// The workhorse: multi-source run vs per-source runs on every axis.
+void CheckSources(const Snapshot& snap, const Nfa& query,
+                  const std::vector<uint32_t>& sources, uint32_t target) {
+  MultiSourceAnnotation multi =
+      AnnotateMultiSource(snap, query, sources, target);
+  ASSERT_EQ(multi.num_blocks, sources.size());
+  ASSERT_EQ(multi.sources, sources);
+  ASSERT_EQ(multi.lambdas.size(), sources.size());
+
+  for (size_t j = 0; j < sources.size(); ++j) {
+    Annotation solo = Annotate(snap, query, sources[j], target);
+    EXPECT_EQ(multi.lambdas[j], solo.lambda);
+    Annotation slice = multi.Slice(j);
+    ExpectBitIdentical(slice, solo, sources[j]);
+    // Downstream proof: the slice drives trim + enumerate to the same
+    // walk sequence, order included.
+    EXPECT_EQ(Enumerate(snap, slice), Enumerate(snap, solo));
+  }
+}
+
+Nfa RegexNfa(const std::string& pattern, LabelDictionary* dict,
+             bool thompson) {
+  RegexParseResult ast = ParseRegex(pattern);
+  EXPECT_TRUE(ast.ok()) << ast.error();
+  return thompson ? ThompsonNfa(*ast.value(), dict)
+                  : GlushkovNfa(*ast.value(), dict);
+}
+
+TEST(MultiSourceAnnotateTest, GridAllSourcesMatchPerSourceRuns) {
+  // Every grid vertex as a source: lambdas range from 2(n-1) down to 0,
+  // so blocks deactivate at staggered levels.
+  Instance inst = Grid(4, 4);
+  Snapshot snap = inst.db.Freeze();
+  std::vector<uint32_t> sources;
+  for (uint32_t v = 0; v < 16; ++v) sources.push_back(v);
+  CheckSources(snap, StaircaseNfa(0, 1), sources, inst.target);
+  CheckSources(snap, AnyKDfa(3, 1), sources, inst.target);
+}
+
+TEST(MultiSourceAnnotateTest, BubbleChainMixedSources) {
+  Instance inst = BubbleChain(6, 2);
+  Snapshot snap = inst.db.Freeze();
+  // Hubs sit at even distances, branch vertices at odd ones; the mix
+  // includes the target itself (lambda 0 for a *-query) and vertices
+  // the query cannot complete from.
+  std::vector<uint32_t> sources = {inst.source, 1, 2, 3, 7, inst.target};
+  CheckSources(snap, StaircaseNfa(2, 2), sources, inst.target);
+
+  LabelDictionary* dict = inst.db.mutable_dict();
+  CheckSources(snap, RegexNfa("(l0|l1)*", dict, true), sources, inst.target);
+  CheckSources(snap, RegexNfa("(l0 l0|l1 l1)+", dict, false), sources,
+               inst.target);
+}
+
+TEST(MultiSourceAnnotateTest, EpsilonAutomatonAndNoise) {
+  Instance inst = EmbedInNoise(BubbleChain(5, 2), 60, 240, 11);
+  Snapshot snap = inst.db.Freeze();
+  LabelDictionary* dict = inst.db.mutable_dict();
+  // Thompson: epsilon closures exercise the closure-saturated seeding.
+  Nfa eps = RegexNfa("(l0|l1)* l1 (l0|l1)?", dict, true);
+  std::vector<uint32_t> sources = {inst.source, 0, 5, 17, 33,
+                                   inst.target};
+  CheckSources(snap, eps, sources, inst.target);
+}
+
+TEST(MultiSourceAnnotateTest, MultiWordBlocks) {
+  // > 64 automaton states per block: Thompson over the m = 20 E9 regex
+  // forces multi-word block slices, the alignment-sensitive path. (The
+  // graph only carries l0/l1; the other atoms are dead transitions,
+  // which is fine — the block layout depends on |Q| alone.)
+  Instance inst = LayeredGraph({});
+  Snapshot snap = inst.db.Freeze();
+  LabelDictionary* dict = inst.db.mutable_dict();
+  Nfa big = RegexNfa(ContainsL0Regex(20), dict, true);
+  ASSERT_GT(big.num_states(), 64u);
+  std::vector<uint32_t> sources = {inst.source, 1, 2, 9};
+  CheckSources(snap, big, sources, inst.target);
+}
+
+TEST(MultiSourceAnnotateTest, DuplicateUnreachableAndInvalidSources) {
+  Instance inst = DeadFanout(4, 3);
+  Snapshot snap = inst.db.Freeze();
+  uint32_t n = snap.num_vertices();
+  // Duplicates must produce independent identical blocks; an
+  // out-of-range source must come back lambda = -1 with empty levels,
+  // exactly like Annotate.
+  std::vector<uint32_t> sources = {inst.source, inst.source, inst.target,
+                                   n + 5, inst.source};
+  CheckSources(snap, StaircaseNfa(1, 2), sources, inst.target);
+
+  // All-unreachable: no block ever seals, the BFS exhausts cleanly.
+  std::vector<uint32_t> dead = {n + 1, n + 2};
+  MultiSourceAnnotation multi =
+      AnnotateMultiSource(snap, StaircaseNfa(1, 2), dead, inst.target);
+  EXPECT_EQ(multi.lambdas, (std::vector<int32_t>{-1, -1}));
+
+  // Empty source set: a well-formed empty result.
+  MultiSourceAnnotation none =
+      AnnotateMultiSource(snap, StaircaseNfa(1, 2), {}, inst.target);
+  EXPECT_EQ(none.num_blocks, 0u);
+  EXPECT_TRUE(none.lambdas.empty());
+}
+
+TEST(MultiSourceAnnotateTest, ApproxBytesIsPositiveAndCoversSlices) {
+  Instance inst = BubbleChain(4, 2);
+  Snapshot snap = inst.db.Freeze();
+  std::vector<uint32_t> sources = {inst.source, 2, inst.target};
+  MultiSourceAnnotation multi =
+      AnnotateMultiSource(snap, StaircaseNfa(2, 2), sources, inst.target);
+  EXPECT_GT(multi.ApproxBytes(), 0u);
+  for (size_t j = 0; j < sources.size(); ++j)
+    EXPECT_GT(multi.Slice(j).ApproxBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace dsw
