@@ -139,6 +139,19 @@ class LabelIndex {
 
 class Snapshot;
 
+/// Insert-only difference between two frozen generations of one
+/// Database, as recorded by the freeze-time delta log: vertices
+/// [first_new_vertex, num_vertices) and edges [first_new_edge,
+/// num_edges) were inserted after the older generation, and nothing
+/// else changed (the mutation API is append-only). known == false means
+/// the older generation was never frozen or its mark aged out of the
+/// bounded log — callers must fall back to a full rebuild.
+struct EdgeDelta {
+  bool known = false;
+  uint32_t first_new_vertex = 0;
+  uint32_t first_new_edge = 0;
+};
+
 class Database {
  public:
   uint32_t AddVertex() {
@@ -147,9 +160,13 @@ class Database {
     return static_cast<uint32_t>(out_.size() - 1);
   }
 
-  /// Adds \p n vertices; returns the id of the first.
+  /// Adds \p n vertices; returns the id of the first. A zero-vertex
+  /// call changes nothing and is generation-neutral — bumping the
+  /// counter here would retire every snapshot, session and cached plan
+  /// for a mutation that never happened.
   uint32_t AddVertices(uint32_t n) {
     uint32_t first = num_vertices();
+    if (n == 0) return first;
     out_.resize(out_.size() + n);
     ++generation_;
     return first;
@@ -210,6 +227,8 @@ class Database {
   LabelDictionary* mutable_dict() { return &labels_; }
 
  private:
+  friend class Snapshot;  // DeltaFrom reads the freeze-mark log
+
   void BuildLabelIndex(LabelIndex& ix) const {
     uint32_t v_count = num_vertices();
     ix.group_offsets_.assign(v_count + 1, 0);
@@ -241,9 +260,23 @@ class Database {
     ix.group_offsets_[v_count] = static_cast<uint32_t>(ix.groups_.size());
   }
 
+  // One entry per frozen generation: the vertex/edge counts as of that
+  // freeze. Since the mutation API is append-only, the delta between
+  // two marks is exactly "the suffix inserted in between" — which is
+  // what Snapshot::DeltaFrom serves to the incremental-maintenance
+  // layer. Bounded: only the most recent kMaxFreezeMarks freezes stay
+  // repairable; older generations fall back to a full rebuild.
+  struct FreezeMark {
+    uint64_t generation;
+    uint32_t num_vertices;
+    uint32_t num_edges;
+  };
+  static constexpr size_t kMaxFreezeMarks = 64;
+
   std::vector<Edge> edges_;
   std::vector<std::vector<uint32_t>> out_;  // vertex -> edge ids
   LabelDictionary labels_;
+  std::vector<FreezeMark> freeze_marks_;  // ascending generation
   // The index built by the last Freeze() and the generation it captured;
   // shared with every Snapshot handed out, so re-freezing an unchanged
   // database is O(1) and old snapshots stay valid storage-wise even
@@ -276,6 +309,13 @@ class Snapshot {
 
   /// True iff the Database has not mutated since this freeze.
   bool fresh() const { return db_ != nullptr && db_->generation() == generation_; }
+
+  /// Insert-only delta between \p prev_generation (an earlier frozen
+  /// generation of the same Database) and this snapshot, from the
+  /// freeze-time mark log. Unknown (never-frozen or aged-out)
+  /// generations return known == false — the caller's cue to rebuild
+  /// instead of repair. Defined after Database.
+  EdgeDelta DeltaFrom(uint64_t prev_generation) const;
 
   /// Debug-only staleness check, same contract as
   /// TrimmedIndex::AssertFresh: compiled away under NDEBUG.
@@ -346,7 +386,25 @@ inline Snapshot Database::Freeze() {
     frozen_index_ = std::move(ix);
     frozen_generation_ = generation_;
   }
+  if (freeze_marks_.empty() || freeze_marks_.back().generation != generation_) {
+    if (freeze_marks_.size() >= kMaxFreezeMarks)
+      freeze_marks_.erase(freeze_marks_.begin());
+    freeze_marks_.push_back(FreezeMark{generation_, num_vertices(),
+                                       static_cast<uint32_t>(num_edges())});
+  }
   return Snapshot(this, frozen_index_, generation_);
+}
+
+inline EdgeDelta Snapshot::DeltaFrom(uint64_t prev_generation) const {
+  AssertFresh();
+  if (prev_generation == generation_)
+    return EdgeDelta{true, db_->num_vertices(),
+                     static_cast<uint32_t>(db_->num_edges())};
+  if (prev_generation > generation_) return EdgeDelta{};
+  for (const Database::FreezeMark& mark : db_->freeze_marks_)
+    if (mark.generation == prev_generation)
+      return EdgeDelta{true, mark.num_vertices, mark.num_edges};
+  return EdgeDelta{};
 }
 
 }  // namespace dsw

@@ -1,10 +1,23 @@
 #include "core/resumable_index.h"
 
+#include <utility>
+
 namespace dsw {
 
 ResumableIndex::ResumableIndex(const Snapshot& snap, const Annotation& ann,
                                const AnnotateOptions& opts)
     : trimmed_(snap, ann, opts) {
+  BuildQueues(snap, ann);
+}
+
+ResumableIndex::ResumableIndex(const Snapshot& snap, const Annotation& ann,
+                               TrimmedIndex trimmed)
+    : trimmed_(std::move(trimmed)) {
+  BuildQueues(snap, ann);
+}
+
+void ResumableIndex::BuildQueues(const Snapshot& snap,
+                                 const Annotation& ann) {
   if (!ann.reachable() || trimmed_.empty()) return;
   const uint32_t lambda = static_cast<uint32_t>(ann.lambda);
   const LabelIndex& adj = snap.label_index();

@@ -70,6 +70,14 @@ class ResumableIndex {
   ResumableIndex(const Snapshot& snap, const Annotation& ann,
                  const AnnotateOptions& opts = {});
 
+  /// Same queues + rank arrays on top of an already-built trimmed
+  /// structure (taken by value; move it in). This is the delta-repair
+  /// path: DeltaTrim patched the old TrimmedIndex against an insert-only
+  /// delta and only the queue layout remains to be rebuilt. \p trimmed
+  /// must describe \p ann against \p snap.
+  ResumableIndex(const Snapshot& snap, const Annotation& ann,
+                 TrimmedIndex trimmed);
+
   /// The underlying trimmed structure (useful sets, lambda, etc.).
   const TrimmedIndex& trimmed() const { return trimmed_; }
   bool empty() const { return trimmed_.empty(); }
@@ -197,6 +205,10 @@ class ResumableIndex {
   }
 
  private:
+  // Lays out the queues, rank arrays, and the vertex-slot CSR from
+  // trimmed_ (shared tail of both constructors).
+  void BuildQueues(const Snapshot& snap, const Annotation& ann);
+
   TrimmedIndex trimmed_;
 
   // Queues are allocated level-major, in useful-level vertex order, so

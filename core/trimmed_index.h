@@ -242,6 +242,14 @@ class TrimmedIndex {
   // private structure from per-shard pieces.
   friend void ShardedTrimBuild(TrimmedIndex&, const Snapshot&,
                                const Annotation&, const AnnotateOptions&);
+  // The delta-repair path (core/delta_annotate.cc) assembles a patched
+  // copy of an existing index against an insert-only edge delta. It
+  // reads the old index through these private members on purpose: the
+  // old index is stale by then (the database has mutated), so the
+  // public accessors' AssertFresh would fire even though the *contents*
+  // being copied are exactly what the repair needs.
+  friend class DeltaTrimmer;
+  TrimmedIndex() = default;
 
   // The sequential backward sweep (the num_shards <= 1 path).
   void BuildSequential(const Snapshot& snap, const Annotation& ann);

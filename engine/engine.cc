@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "automaton/canonical_hash.h"
+#include "core/delta_annotate.h"
 #include "core/resumable_enumerator.h"
 #include "regex/regex_parser.h"
 
@@ -40,6 +41,12 @@ struct QueryEngine::WorkerCache {
       lru.splice(lru.begin(), lru, it->second.lru_it);
       return *it->second.en;
     }
+    // Construct BEFORE touching the map: if the constructor throws
+    // (e.g. bad_alloc), default-inserting first would leave a poisoned
+    // entry — null `en`, dangling `lru_it` — that the next hit on this
+    // query dereferences.
+    auto en = std::make_unique<ResumableEnumerator>(q->ann, q->index,
+                                                    q->source, q->target);
     if (entries.size() >= capacity) {
       entries.erase(lru.back());
       lru.pop_back();
@@ -47,8 +54,7 @@ struct QueryEngine::WorkerCache {
     }
     Entry& e = entries[q.get()];
     e.query = q;
-    e.en = std::make_unique<ResumableEnumerator>(q->ann, q->index, q->source,
-                                                 q->target);
+    e.en = std::move(en);
     lru.push_front(q.get());
     e.lru_it = lru.begin();
     return *e.en;
@@ -71,6 +77,7 @@ struct QueryEngine::WorkerCache {
 
 QueryEngine::QueryEngine(const EngineOptions& options)
     : worker_cache_entries_(std::max(options.worker_cache_entries, 1u)),
+      incremental_install_(options.incremental_install),
       cache_(options.plan_cache_bytes) {
   uint32_t num_threads = std::max(options.num_threads, 1u);
   workers_.reserve(num_threads);
@@ -90,23 +97,117 @@ QueryEngine::~QueryEngine() {
     job.promise.set_value(PumpResult{PumpStatus::kRetired, {}});
 }
 
+namespace {
+
+// One plan-cache entry run through the delta-repair pipeline.
+// value == nullptr means the plan was dropped (unrepairable: the old
+// annotation was unreachable, so it carries no levels to repair — and
+// the inserts may well have made it reachable, so a fresh build on the
+// next Prepare miss is also the semantically required outcome).
+// order_preserved means lambda did not change, so old answers keep
+// their relative enumeration order and a parked walk is still a valid
+// SeekAfter anchor.
+struct RepairedPlan {
+  std::shared_ptr<const PreparedQuery> value;
+  bool order_preserved = false;
+};
+
+RepairedPlan RepairPlan(const Snapshot& snap, const EdgeDelta& delta,
+                        const DeltaContext& ctx, const PreparedQuery& old) {
+  RepairedPlan out;
+  Annotation ann = old.ann;
+  AnnotationRepair rep = DeltaAnnotate(snap, delta, &ann);
+  if (!rep.ok) return out;
+  TrimmedIndex trimmed =
+      DeltaTrim(snap, ann, old.index.trimmed(), rep, delta, ctx);
+  out.value = std::make_shared<const PreparedQuery>(snap, std::move(ann),
+                                                    std::move(trimmed));
+  out.order_preserved = !rep.lambda_changed;
+  return out;
+}
+
+}  // namespace
+
 void QueryEngine::InstallSnapshot(Snapshot snap) {
   assert(static_cast<bool>(snap) && "InstallSnapshot: null snapshot");
   const Database* db = &snap.db();
   const uint64_t gen = snap.generation();
+  Snapshot prev;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    prev = snapshot_;
     installed_db_ = db;
     installed_gen_ = gen;
-    snapshot_ = std::move(snap);
+    snapshot_ = snap;
     // Sessions pinned to older generations are retired lazily, at their
-    // next pump — nothing to do here; the (db, generation) compare in
-    // the worker is the whole mechanism.
+    // next pump — the (db, generation) compare in the worker is the
+    // whole mechanism. The incremental path below re-points the sessions
+    // it saves BEFORE they can reach a worker again.
   }
+
+  // Incremental path: when the previous install was an earlier frozen
+  // generation of the same database and the delta between the two is a
+  // known insert-only suffix, extract the old generation's completed
+  // plans for repair instead of letting Invalidate drop them.
+  std::vector<std::pair<PlanKey, PlanCache::Value>> old_entries;
+  EdgeDelta delta;
+  if (incremental_install_ && prev && &prev.db() == db &&
+      prev.generation() != gen) {
+    delta = snap.DeltaFrom(prev.generation());
+    if (delta.known)
+      old_entries = cache_.TakeGeneration(db, prev.generation());
+  }
+
   // Plan entries of other generations can never be served again (keys
   // carry the generation); drop them eagerly. Outside mu_ — the cache
   // has its own lock and the two are never held together.
   cache_.Invalidate(db, gen);
+  if (old_entries.empty()) return;
+
+  // Repair each extracted plan against the new snapshot and re-insert
+  // it under the new generation's key. One reverse CSR serves them all.
+  DeltaContext ctx(snap);
+  std::unordered_map<const PreparedQuery*,
+                     std::shared_ptr<const PreparedQuery>>
+      remap;           // old plan -> upgraded plan (all upgrades)
+  uint64_t upgraded = 0;
+  std::vector<const PreparedQuery*> order_broken;  // lambda changed
+  for (auto& [key, old] : old_entries) {
+    RepairedPlan repaired = RepairPlan(snap, delta, ctx, *old);
+    if (!repaired.value) continue;
+    ++upgraded;
+    remap.emplace(old.get(), repaired.value);
+    if (!repaired.order_preserved) order_broken.push_back(old.get());
+    PlanKey new_key = std::move(key);
+    new_key.generation = gen;
+    cache_.InsertUpgraded(std::move(new_key), std::move(repaired.value));
+  }
+  if (remap.empty()) return;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  plans_upgraded_ += upgraded;
+  // Re-point the query table: future OpenSession calls on an existing
+  // QueryId get the upgraded plan (new sessions Rewind, so this is safe
+  // even when the enumeration order changed).
+  for (auto& q : queries_) {
+    auto it = remap.find(q.get());
+    if (it != remap.end()) q = it->second;
+  }
+  // Re-point sessions. A session that already emitted answers needs its
+  // parked walk to stay a valid order anchor, which only holds when
+  // lambda is unchanged — otherwise leave it on the old plan and let
+  // the worker's generation check retire it lazily, as before.
+  for (Session& s : sessions_) {
+    if (!s.query) continue;
+    auto it = remap.find(s.query.get());
+    if (it == remap.end()) continue;
+    if (s.started &&
+        std::find(order_broken.begin(), order_broken.end(),
+                  s.query.get()) != order_broken.end())
+      continue;
+    s.query = it->second;
+    if (s.state == SessionState::kParked) ++sessions_upgraded_;
+  }
 }
 
 QueryId QueryEngine::RegisterLocked(
@@ -248,6 +349,14 @@ PumpResult QueryEngine::Drain(SessionId session, uint32_t batch) {
   PumpResult all;
   for (;;) {
     PumpResult r = Pump(session, batch);
+    if (r.status == PumpStatus::kBusy) {
+      // Another pump owns the session right now (its batch goes to that
+      // caller). Returning here would hand back partially-accumulated
+      // walks under a kBusy status — a silently dropped tail. The
+      // session parks or exhausts eventually; retry until it does.
+      std::this_thread::yield();
+      continue;
+    }
     all.status = r.status;
     all.walks.insert(all.walks.end(),
                      std::make_move_iterator(r.walks.begin()),
@@ -272,6 +381,8 @@ EngineStats QueryEngine::Stats() const {
       frontend_glushkov_.load(std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(mu_);
   stats.sessions_retired = sessions_retired_;
+  stats.plans_upgraded = plans_upgraded_;
+  stats.sessions_upgraded = sessions_upgraded_;
   return stats;
 }
 

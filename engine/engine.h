@@ -99,12 +99,22 @@ struct EngineOptions {
   /// per-thread memory across distinct prepared queries; evicted
   /// enumerators are rebuilt on demand (sessions are memoryless).
   uint32_t worker_cache_entries = 8;
+  /// When true (the default), InstallSnapshot upgrades same-database
+  /// plan-cache entries across an insert-only delta by delta repair
+  /// (core/delta_annotate.h) instead of dropping them, and parked
+  /// sessions whose enumeration order survived (lambda unchanged)
+  /// resume via SeekAfter rather than being retired. False restores the
+  /// drop-everything behavior — the bench's comparison arm and the
+  /// kill-switch if a repair bug is ever suspected in production.
+  bool incremental_install = true;
 };
 
 /// Observability counters; a consistent point-in-time copy via Stats().
 struct EngineStats {
   PlanCacheStats plan_cache;
   uint64_t sessions_retired = 0;        // pumps rejected on stale snapshots
+  uint64_t plans_upgraded = 0;          // plans delta-repaired at install
+  uint64_t sessions_upgraded = 0;       // parked sessions that survived one
   uint64_t worker_cache_evictions = 0;  // enumerators dropped by the LRU cap
   uint64_t frontend_thompson = 0;       // PrepareRegex picks, per front-end
   uint64_t frontend_glushkov = 0;
@@ -133,6 +143,22 @@ class QueryEngine {
   /// and invalidates plan cache entries of any other (db, generation).
   /// Sessions and prepared queries of any older install are retired:
   /// their next pump returns PumpStatus::kRetired.
+  ///
+  /// Incremental path (EngineOptions::incremental_install): when the new
+  /// snapshot is a later generation of the SAME database and its delta
+  /// against the previous install is a known insert-only suffix
+  /// (Snapshot::DeltaFrom), the previous generation's plan-cache entries
+  /// are *upgraded* — annotation repaired by the bounded re-relaxation
+  /// wave, trimmed/B-list structure patched, queues re-laid — and
+  /// re-inserted under the new generation's keys instead of dropped.
+  /// Prepared queries and sessions are re-pointed at the upgraded plans;
+  /// a parked session survives when its plan's enumeration order is an
+  /// anchor across the delta (lambda unchanged: old answers keep their
+  /// relative order, so one SeekAfter on the parked walk resumes the
+  /// correct suffix of the NEW answer order). Plans whose lambda shrank
+  /// still upgrade — new sessions enumerate the new order — but their
+  /// parked sessions retire lazily as before. Repairs run on the calling
+  /// (control) thread.
   void InstallSnapshot(Snapshot snap);
 
   /// Resolves the prepared structure for (query, source, target)
@@ -235,6 +261,7 @@ class QueryEngine {
                       int64_t* first_answer_ns);
 
   const uint32_t worker_cache_entries_;
+  const bool incremental_install_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
@@ -250,7 +277,9 @@ class QueryEngine {
   std::vector<std::shared_ptr<const PreparedQuery>> queries_;
   std::vector<Session> sessions_;
   std::vector<int64_t> first_answer_ns_;
-  uint64_t sessions_retired_ = 0;  // guarded by mu_
+  uint64_t sessions_retired_ = 0;   // guarded by mu_
+  uint64_t plans_upgraded_ = 0;     // guarded by mu_
+  uint64_t sessions_upgraded_ = 0;  // guarded by mu_
 
   // Own lock discipline: never held together with mu_ (Prepare resolves
   // through the cache before taking mu_; InstallSnapshot invalidates

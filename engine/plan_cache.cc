@@ -244,6 +244,53 @@ std::vector<PlanCache::Value> PlanCache::GetOrBuildBatch(
   return out;
 }
 
+std::vector<std::pair<PlanKey, PlanCache::Value>> PlanCache::TakeGeneration(
+    const Database* db, uint64_t generation) {
+  std::vector<std::pair<PlanKey, Value>> out;
+  if (byte_budget_ == 0) return out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = map_.begin(); it != map_.end();) {
+    if (it->first.db != db || it->first.generation != generation ||
+        it->second.building()) {
+      ++it;
+      continue;
+    }
+    stats_.bytes_used -= it->second.bytes;
+    --stats_.entries;
+    lru_.erase(it->second.lru_it);
+    out.emplace_back(it->first, std::move(it->second.value));
+    it = map_.erase(it);
+  }
+  return out;
+}
+
+void PlanCache::InsertUpgraded(PlanKey key, Value value) {
+  if (byte_budget_ == 0) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(key);
+    if (it == map_.end()) {
+      it = map_.emplace(std::move(key), Entry{}).first;
+    } else if (!it->second.building()) {
+      return;  // a concurrent Prepare already built this key; keep it
+    }
+    // Filling a building claim in place resolves it: the claimant's
+    // eventual FillLocked sees a completed entry and no-ops, exactly as
+    // if it had been invalidated — but its waiters are released now,
+    // by the upgraded value.
+    Entry& e = it->second;
+    e.value = std::move(value);
+    e.bytes = e.value->ApproxBytes();
+    lru_.push_front(&it->first);
+    e.lru_it = lru_.begin();
+    stats_.bytes_used += e.bytes;
+    ++stats_.entries;
+    ++stats_.upgrades;
+    EvictOverBudgetLocked(&it->first);
+  }
+  cv_.notify_all();
+}
+
 void PlanCache::Invalidate(const Database* db, uint64_t generation) {
   {
     std::lock_guard<std::mutex> lock(mu_);

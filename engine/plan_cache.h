@@ -87,6 +87,17 @@ struct PreparedQuery {
         source(ann.source),
         target(ann.target) {}
 
+  /// Builds on repaired structures — the incremental InstallSnapshot
+  /// path: \p a and \p trimmed were patched by core/delta_annotate
+  /// against an insert-only edge delta, so only the resumable queue
+  /// layout is rebuilt here; no product BFS, no backward sweep.
+  PreparedQuery(Snapshot s, Annotation a, TrimmedIndex trimmed)
+      : snap(std::move(s)),
+        ann(std::move(a)),
+        index(snap, ann, std::move(trimmed)),
+        source(ann.source),
+        target(ann.target) {}
+
   Snapshot snap;
   Annotation ann;
   ResumableIndex index;
@@ -134,6 +145,7 @@ struct PlanCacheStats {
   uint64_t evictions = 0;             // budget-driven LRU drops
   uint64_t invalidations = 0;         // entries dropped by Invalidate()
   uint64_t single_flight_waits = 0;   // calls that blocked on a peer build
+  uint64_t upgrades = 0;              // entries re-keyed by InsertUpgraded
   size_t bytes_used = 0;
   size_t entries = 0;                 // completed entries resident
 };
@@ -174,6 +186,23 @@ class PlanCache {
   /// InstallSnapshot hook. In-flight builds for dropped keys complete
   /// for their callers but are not cached.
   void Invalidate(const Database* db, uint64_t generation);
+
+  /// Removes and returns every *completed* entry built against
+  /// (\p db, \p generation) — the incremental InstallSnapshot path
+  /// extracts the old generation's plans for delta repair instead of
+  /// letting Invalidate drop them. Building markers stay (their claims
+  /// resolve against Invalidate as usual); extraction is not counted as
+  /// invalidation. Empty in pass-through (byte_budget 0) mode.
+  std::vector<std::pair<PlanKey, Value>> TakeGeneration(const Database* db,
+                                                        uint64_t generation);
+
+  /// Inserts a repaired plan under its re-keyed (new-generation) key.
+  /// A completed entry already present wins (a concurrent Prepare beat
+  /// the upgrade; keep the entry hits are being served from); a building
+  /// claim is resolved in place — the claimant's own fill then no-ops —
+  /// so its waiters are released by the upgraded value. Dropped in
+  /// pass-through mode.
+  void InsertUpgraded(PlanKey key, Value value);
 
   PlanCacheStats Stats() const;
 

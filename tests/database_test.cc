@@ -95,6 +95,80 @@ TEST(DatabaseTest, GenerationCountsStructuralMutationsOnly) {
   EXPECT_EQ(db.generation(), gen);
 }
 
+TEST(DatabaseTest, ZeroVertexAddIsGenerationNeutral) {
+  // Regression: AddVertices(0) used to bump the generation, retiring
+  // every snapshot, session and cached plan for a mutation that never
+  // happened. A zero-vertex call must be a complete no-op.
+  Database db;
+  db.AddVertices(3);
+  db.AddEdge(0, "l0", 1);
+  Snapshot snap = db.Freeze();
+  uint64_t gen = db.generation();
+
+  EXPECT_EQ(db.AddVertices(0), 3u);  // still returns the next id
+  EXPECT_EQ(db.generation(), gen);
+  EXPECT_EQ(db.num_vertices(), 3u);
+  EXPECT_TRUE(snap.fresh());  // the snapshot survived
+
+  // And the delta layer agrees: re-freezing yields the same generation
+  // with an empty known delta.
+  Snapshot again = db.Freeze();
+  EXPECT_EQ(again.generation(), snap.generation());
+  EdgeDelta delta = again.DeltaFrom(snap.generation());
+  EXPECT_TRUE(delta.known);
+  EXPECT_EQ(delta.first_new_vertex, 3u);
+  EXPECT_EQ(delta.first_new_edge, 1u);
+}
+
+TEST(SnapshotTest, DeltaFromTracksInsertOnlyFreezes) {
+  Database db;
+  db.AddVertices(4);
+  db.AddEdge(0, "l0", 1);
+  Snapshot first = db.Freeze();
+  uint64_t gen1 = first.generation();
+
+  db.AddVertices(2);
+  db.AddEdge(1, "l0", 2);
+  db.AddEdge(2, "l0", 5);
+  Snapshot second = db.Freeze();
+
+  // Known delta: exactly the vertex and edge suffixes added since gen1.
+  EdgeDelta d = second.DeltaFrom(gen1);
+  ASSERT_TRUE(d.known);
+  EXPECT_EQ(d.first_new_vertex, 4u);
+  EXPECT_EQ(d.first_new_edge, 1u);
+
+  // Same-generation delta: known and empty (suffixes start at the end).
+  EdgeDelta same = second.DeltaFrom(second.generation());
+  ASSERT_TRUE(same.known);
+  EXPECT_EQ(same.first_new_vertex, 6u);
+  EXPECT_EQ(same.first_new_edge, 3u);
+
+  // A generation that was never frozen — or lies in the future — is
+  // unknown: callers must rebuild from scratch.
+  EXPECT_FALSE(second.DeltaFrom(gen1 + 1).known);
+  EXPECT_FALSE(second.DeltaFrom(second.generation() + 100).known);
+}
+
+TEST(SnapshotTest, DeltaFromForgetsMarksBeyondTheBoundedLog) {
+  // The freeze-mark log keeps the most recent kMaxFreezeMarks (64)
+  // freezes; a generation older than that ages out and its delta
+  // becomes unknown — the fall-back-to-rebuild signal, not an error.
+  Database db;
+  db.AddVertices(2);
+  db.AddEdge(0, "l0", 1);
+  uint64_t oldest = db.Freeze().generation();
+  for (int i = 0; i < 70; ++i) {
+    db.AddEdge(0, "l0", 1);
+    (void)db.Freeze();
+  }
+  Snapshot latest = db.Freeze();
+  EXPECT_FALSE(latest.DeltaFrom(oldest).known);
+  // Recent marks are still served.
+  EdgeDelta recent = latest.DeltaFrom(latest.generation());
+  EXPECT_TRUE(recent.known);
+}
+
 TEST(SnapshotTest, FreezeCapturesTheCurrentGeneration) {
   Database db;
   db.AddVertices(3);

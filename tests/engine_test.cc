@@ -9,15 +9,19 @@
 //     oracle. Run under ThreadSanitizer in CI, this is the regression
 //     test for the lazy-rebuild data race the snapshot layer removed —
 //     the read path performs no lazy work, so TSan stays silent.
-//  3. Retirement: a session pinned to a retired snapshot generation is
-//     rejected gracefully (PumpStatus::kRetired, stale index untouched)
-//     after InstallSnapshot publishes a newer generation.
+//  3. Retirement vs. upgrade: InstallSnapshot with an insert-only delta
+//     that preserves lambda upgrades plans and parked sessions in place
+//     (they resume the correct suffix of the NEW enumeration, no
+//     kRetired); a delta that shortens lambda breaks the enumeration
+//     order anchor, so started sessions are rejected gracefully
+//     (PumpStatus::kRetired, stale index untouched).
 //  4. The snapshot layer itself: raw reader threads sharing one
 //     Snapshot build annotations/indexes/enumerators concurrently with
 //     no engine and no synchronization.
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <future>
@@ -211,8 +215,13 @@ TEST(QueryEngineTest, RetiredSessionsAreRejectedGracefully) {
   ASSERT_EQ(first.status, PumpStatus::kOk);
   ASSERT_EQ(first.walks.size(), 4u);
 
-  // Mutate, freeze, publish: the old session's generation is retired.
-  inst.db.AddEdge(inst.source, 0u, inst.target);
+  // A two-edge shortcut drops lambda from 10 to 2 (StaircaseNfa(2, 2)
+  // accepts any word of length >= 2). The shorter lambda breaks the
+  // enumeration-order anchor, so the incremental install must NOT
+  // upgrade this started session — it is retired.
+  uint32_t mid = inst.db.AddVertex();
+  inst.db.AddEdge(inst.source, 0u, mid);
+  inst.db.AddEdge(mid, 0u, inst.target);
   Snapshot snap2 = inst.db.Freeze();
   engine.InstallSnapshot(snap2);
 
@@ -229,6 +238,103 @@ TEST(QueryEngineTest, RetiredSessionsAreRejectedGracefully) {
   PumpResult all = engine.Drain(engine.OpenSession(q_new), 8);
   EXPECT_EQ(all.status, PumpStatus::kExhausted);
   EXPECT_EQ(Edges(all.walks), expected);
+}
+
+// Two clients draining ONE session race for its pump lock; the loser
+// of each round sees kBusy internally. Drain must absorb those (retry
+// until the session parks or exhausts) rather than returning a partial
+// batch under kBusy — the regression this pins: both clients finish
+// kExhausted and together they partition the oracle sequence exactly.
+TEST(QueryEngineTest, ConcurrentDrainsOfOneSessionPartitionTheAnswers) {
+  Instance inst = BubbleChain(8, 2);
+  Nfa query = StaircaseNfa(2, 2);
+  Snapshot snap = inst.db.Freeze();
+  EdgeSeq expected = Oracle(snap, query, inst.source, inst.target);
+  ASSERT_EQ(expected.size(), 256u);
+
+  QueryEngine engine(2);
+  engine.InstallSnapshot(snap);
+  SessionId s =
+      engine.OpenSession(engine.Prepare(query, inst.source, inst.target));
+
+  PumpResult a, b;
+  std::thread ta([&] { a = engine.Drain(s, 3); });
+  std::thread tb([&] { b = engine.Drain(s, 5); });
+  ta.join();
+  tb.join();
+
+  EXPECT_EQ(a.status, PumpStatus::kExhausted);
+  EXPECT_EQ(b.status, PumpStatus::kExhausted);
+  EXPECT_EQ(a.walks.size() + b.walks.size(), expected.size());
+
+  // Each client's stream is an in-order subsequence of the oracle...
+  for (const PumpResult* r : {&a, &b}) {
+    size_t pos = 0;
+    for (const Walk& w : r->walks) {
+      while (pos < expected.size() && expected[pos] != w.edges) ++pos;
+      ASSERT_LT(pos, expected.size()) << "walk out of enumeration order";
+      ++pos;
+    }
+  }
+  // ...and together they cover it exactly.
+  EdgeSeq merged = Edges(a.walks);
+  EdgeSeq b_edges = Edges(b.walks);
+  merged.insert(merged.end(), b_edges.begin(), b_edges.end());
+  std::sort(merged.begin(), merged.end());
+  EdgeSeq sorted_expected = expected;
+  std::sort(sorted_expected.begin(), sorted_expected.end());
+  EXPECT_EQ(merged, sorted_expected);
+}
+
+// The flip side of retirement: an insert-only delta that PRESERVES
+// lambda (parallel duplicates of existing edges add new distinct
+// shortest walks but no shorter one) upgrades the cached plan and the
+// parked session in place. The session resumes — on the repaired
+// index, against the new snapshot — the exact suffix of the NEW
+// enumeration order after its last delivered walk, and is never
+// retired.
+TEST(QueryEngineTest, ParkedSessionsSurviveInsertOnlyInstall) {
+  Instance inst = BubbleChain(6, 2);
+  Nfa query = StaircaseNfa(2, 2);
+  Snapshot snap = inst.db.Freeze();
+  QueryEngine engine(2);
+  engine.InstallSnapshot(snap);
+  QueryId q = engine.Prepare(query, inst.source, inst.target);
+  SessionId s = engine.OpenSession(q);
+  PumpResult first = engine.Pump(s, 5);
+  ASSERT_EQ(first.status, PumpStatus::kOk);
+  ASSERT_EQ(first.walks.size(), 5u);
+  // (Before mutating: the old snapshot's accessors assert freshness.)
+  EdgeSeq old_expected = Oracle(snap, query, inst.source, inst.target);
+
+  // Insert-only, lambda-preserving mutation: duplicate three existing
+  // edges and grow the vertex set; freeze and publish incrementally.
+  for (uint32_t id = 0; id < 3; ++id)
+    inst.db.AddEdge(inst.db.src(id), inst.db.edge(id).label,
+                    inst.db.dst(id));
+  inst.db.AddVertices(2);
+  Snapshot snap2 = inst.db.Freeze();
+  engine.InstallSnapshot(snap2);
+
+  EngineStats stats = engine.Stats();
+  EXPECT_GT(stats.plans_upgraded, 0u);
+  EXPECT_GT(stats.sessions_upgraded, 0u);
+  EXPECT_EQ(stats.sessions_retired, 0u);
+
+  // Suffix check against the new-snapshot oracle: everything after the
+  // session's last delivered walk, in the new order. The duplicated
+  // edges added genuinely new answers, so this is not the old suffix.
+  EdgeSeq new_expected = Oracle(snap2, query, inst.source, inst.target);
+  ASSERT_GT(new_expected.size(), old_expected.size());
+  auto anchor = std::find(new_expected.begin(), new_expected.end(),
+                          first.walks.back().edges);
+  ASSERT_NE(anchor, new_expected.end());
+  EdgeSeq want(anchor + 1, new_expected.end());
+
+  PumpResult rest = engine.Drain(s, 7);
+  EXPECT_EQ(rest.status, PumpStatus::kExhausted);
+  EXPECT_EQ(Edges(rest.walks), want);
+  EXPECT_EQ(engine.Stats().sessions_retired, 0u);
 }
 
 // No engine: the snapshot layer alone must let raw threads share one

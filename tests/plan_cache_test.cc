@@ -9,8 +9,12 @@
 //  - Single-flight: concurrent cold Prepares of one key build once;
 //    everyone else blocks and shares the one result. Run under TSan in
 //    CI, this doubles as the race regression test for the cache.
-//  - Invalidation: InstallSnapshot drops entries of other generations;
-//    stale sessions retire gracefully (and are counted).
+//  - Invalidation: with incremental install disabled, InstallSnapshot
+//    drops entries of other generations and stale sessions retire
+//    gracefully (and are counted); with it enabled (the default), an
+//    insert-only delta upgrades entries in place instead (counted as
+//    upgrades, served as warm hits). A building claim invalidated
+//    mid-wait is re-claimed and rebuilt, never lost.
 //  - Byte-budget LRU: a tiny budget keeps the cache bounded and
 //    evicting; budget 0 disables caching outright (the bench's cold
 //    arm) with every call building.
@@ -26,7 +30,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
+#include <future>
 #include <string>
 #include <thread>
 #include <vector>
@@ -35,6 +41,7 @@
 #include "core/enumerator.h"
 #include "core/trimmed_index.h"
 #include "engine/engine.h"
+#include "engine/plan_cache.h"
 #include "workload/generators.h"
 #include "workload/queries.h"
 
@@ -130,10 +137,17 @@ TEST(PlanCacheTest, EquivalentRegexesShareOneEntry) {
   }
 }
 
+// The drop-everything install path, kept reachable by the
+// incremental_install kill-switch: with delta repair disabled, a new
+// generation invalidates every cached plan and retires every started
+// session — the pre-incremental contract, verbatim.
 TEST(PlanCacheTest, InstallSnapshotInvalidatesAndRetires) {
   Instance inst = BubbleChain(5, 2);
   Nfa query = StaircaseNfa(2, 2);
-  QueryEngine engine(2);
+  EngineOptions opts;
+  opts.num_threads = 2;
+  opts.incremental_install = false;
+  QueryEngine engine(opts);
   engine.InstallSnapshot(inst.db.Freeze());
   QueryId q_old = engine.Prepare(query, inst.source, inst.target);
   SessionId s_old = engine.OpenSession(q_old);
@@ -159,6 +173,109 @@ TEST(PlanCacheTest, InstallSnapshotInvalidatesAndRetires) {
   EXPECT_EQ(engine.Stats().plan_cache.misses, 2u);
   EXPECT_EQ(DrainAll(engine, q_new),
             Oracle(snap2, query, inst.source, inst.target));
+}
+
+// The incremental install path: an insert-only, lambda-preserving
+// delta re-keys the cached plan to the new generation by delta repair
+// (TakeGeneration + InsertUpgraded) instead of dropping it. The
+// upgraded entry serves warm hits, the remapped QueryId enumerates the
+// new snapshot's answers, and nothing was invalidated.
+TEST(PlanCacheTest, IncrementalInstallUpgradesEntriesInPlace) {
+  Instance inst = BubbleChain(5, 2);
+  Nfa query = StaircaseNfa(2, 2);
+  QueryEngine engine(2);
+  engine.InstallSnapshot(inst.db.Freeze());
+  QueryId q = engine.Prepare(query, inst.source, inst.target);
+  ASSERT_EQ(engine.Stats().plan_cache.entries, 1u);
+
+  // A parallel duplicate of an existing edge: new distinct shortest
+  // walks, same lambda.
+  inst.db.AddEdge(inst.db.src(0), inst.db.edge(0).label, inst.db.dst(0));
+  Snapshot snap2 = inst.db.Freeze();
+  engine.InstallSnapshot(snap2);
+
+  EngineStats after = engine.Stats();
+  EXPECT_EQ(after.plan_cache.upgrades, 1u);
+  EXPECT_EQ(after.plan_cache.entries, 1u);
+  EXPECT_EQ(after.plan_cache.invalidations, 0u);
+  EXPECT_EQ(after.plans_upgraded, 1u);
+
+  // A warm Prepare against the new generation hits the upgraded entry —
+  // no rebuild ran.
+  QueryId q2 = engine.Prepare(query, inst.source, inst.target);
+  EngineStats warm = engine.Stats();
+  EXPECT_EQ(warm.plan_cache.misses, after.plan_cache.misses);
+  EXPECT_EQ(warm.plan_cache.hits, after.plan_cache.hits + 1);
+
+  EdgeSeq expected = Oracle(snap2, query, inst.source, inst.target);
+  EXPECT_EQ(DrainAll(engine, q), expected);  // old QueryId was remapped
+  EXPECT_EQ(DrainAll(engine, q2), expected);
+}
+
+// A GetOrBuildBatch phase-3 waiter whose awaited claim is dropped by
+// Invalidate mid-wait must wake, re-claim the vacant key, and rebuild
+// — the batch result is never null and the builder's orphaned value
+// goes to its own caller only. The deterministic schedule: thread B
+// claims k2 and parks inside its builder; thread A batches {k1, k2},
+// builds k1, and waits on B's claim; Invalidate then erases both the
+// completed k1 and B's building marker before B is released.
+TEST(PlanCacheTest, InvalidateDuringBatchWaitReclaimsAndRebuilds) {
+  Instance inst = BubbleChain(3, 2);
+  Nfa query = StaircaseNfa(1, 2);
+  Snapshot snap = inst.db.Freeze();
+  AnnotateOptions aopts;
+  auto make_value = [&] {
+    return std::make_shared<const PreparedQuery>(snap, query, inst.source,
+                                                 inst.target, aopts);
+  };
+
+  PlanCache cache(size_t{64} << 20);
+  PlanKey k1{&inst.db, 1, 0x1111, "a", inst.source, inst.target};
+  PlanKey k2{&inst.db, 1, 0x2222, "b", inst.source, inst.target};
+
+  std::promise<void> builder_entered, release_builder;
+  std::thread b([&] {
+    PlanCache::Value v = cache.GetOrBuild(k2, [&]() -> PlanCache::Value {
+      builder_entered.set_value();
+      release_builder.get_future().wait();
+      return make_value();
+    });
+    // The orphaned build still reaches its own caller.
+    EXPECT_NE(v, nullptr);
+  });
+  builder_entered.get_future().wait();
+
+  std::atomic<int> batch_builds{0};
+  std::vector<PlanCache::Value> got;
+  std::thread a([&] {
+    std::vector<PlanKey> keys{k1, k2};
+    got = cache.GetOrBuildBatch(
+        keys, [&](const std::vector<size_t>& idx) {
+          std::vector<PlanCache::Value> out;
+          for (size_t i : idx) {
+            (void)i;
+            ++batch_builds;
+            out.push_back(make_value());
+          }
+          return out;
+        });
+  });
+  // A has reached its wait on k2 (or is about to — both interleavings
+  // resolve identically) once the single-flight wait is counted.
+  while (cache.Stats().single_flight_waits < 1) std::this_thread::yield();
+
+  // A new generation drops everything: k1's completed entry and k2's
+  // building marker.
+  cache.Invalidate(&inst.db, 2);
+  release_builder.set_value();
+  b.join();
+  a.join();
+
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_NE(got[0], nullptr);
+  EXPECT_NE(got[1], nullptr);              // re-claimed, rebuilt, not lost
+  EXPECT_GE(batch_builds.load(), 2);       // k1 + the phase-3 rebuild of k2
+  EXPECT_GE(cache.Stats().invalidations, 2u);
 }
 
 // Concurrent cold misses on ONE key: exactly one build, everyone shares

@@ -22,6 +22,12 @@ Two checks run, and either fails the job:
    geomean high, normalized flat) from "one code path regressed"
    (normalized spike) at a glance.
 
+Benchmarks present only on one side never fail the job, but both
+directions warn: baseline entries missing from the run (a renamed or
+deleted benchmark silently un-guards itself) and run entries missing
+from the baseline (a new benchmark is uncovered until the committed
+baseline is refreshed).
+
 Usage:
   check_bench_regression.py BASELINE.json CURRENT.json [THRESHOLD]
   check_bench_regression.py BASELINE.json CURRENT.json --threshold 3.0
@@ -77,6 +83,12 @@ def check(baseline_path, current_path, threshold):
     if missing:
         print(f"warning: {len(missing)} baseline benchmarks missing from run:")
         for name in missing:
+            print(f"  {name}")
+    new_only = sorted(set(current) - set(baseline))
+    if new_only:
+        print(f"warning: {len(new_only)} benchmarks have no baseline "
+              f"(uncovered by this guard — refresh the committed baseline):")
+        for name in new_only:
             print(f"  {name}")
 
     ratios = {name: current[name] / baseline[name] for name in common}
@@ -138,6 +150,8 @@ def self_test():
          {**base_times, "BM_b/2": base_times["BM_b/2"] * 5.0}, 6.0, 0),
         ("missing benchmarks only warn",
          {n: t for n, t in base_times.items() if n != "BM_c"}, 2.0, 0),
+        ("baseline-less benchmarks only warn — even a slow one",
+         {**base_times, "BM_new/1": 9e9}, 2.0, 0),
         ("disjoint suites are an error", {"BM_other": 10.0}, 2.0, 1),
     ]
     failures = 0
