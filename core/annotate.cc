@@ -5,35 +5,29 @@
 
 #include "core/shard_plan.h"
 #include "core/sharded_annotate.h"
+#include "util/word_kernel.h"
 
 namespace dsw {
 namespace {
 
 constexpr uint32_t kNoSlot = UINT32_MAX;
 
-}  // namespace
-
-Annotation Annotate(const Snapshot& snap, const Nfa& query, uint32_t source,
-                    uint32_t target, const AnnotateOptions& opts) {
-  if (ShardPlan::ClampShards(opts.num_shards, snap.num_vertices()) > 1)
-    return ShardedAnnotate(snap, query, source, target, opts);
-
-  Annotation ann;
-  ann.num_states = query.num_states();
-  ann.source = source;
-  ann.target = target;
-  ann.final_states = query.final_states();
-  if (query.has_epsilon()) ann.eps_closure = query.EpsilonClosures();
-  ann.delta = CompiledDelta(query, ann.eps_closure);  // closures shared
-
-  if (source >= snap.num_vertices() || target >= snap.num_vertices() ||
-      query.num_states() == 0 || query.initial().None())
-    return ann;
-
+// The sequential product BFS, templated over the word kernel (the
+// execution-tier layer, util/word_kernel.h): MultiWordKernel is the
+// pre-tier loop structure verbatim, SingleWordKernel collapses every
+// per-set loop to one uint64_t op for |Q| <= 64. Fills ann->levels and
+// ann->lambda; the caller has already seeded the metadata and rejected
+// the trivial cases.
+template <typename Kernel>
+void ProductBfs(const Snapshot& snap, const Nfa& query, Kernel ker,
+                Annotation* out) {
+  Annotation& ann = *out;
+  const uint32_t source = ann.source;
+  const uint32_t target = ann.target;
   const LabelIndex& adj = snap.label_index();
   const CompiledDelta& delta = ann.delta;
   const uint32_t num_vertices = snap.num_vertices();
-  const uint32_t wps = ann.words_per_set();
+  const uint32_t wps = ker.wps();
 
   // seen: flat V x |Q| bit matrix of product pairs already assigned a
   // level. One zeroed calloc-style allocation; the BFS itself touches
@@ -75,7 +69,7 @@ Annotation Annotate(const Snapshot& snap, const Nfa& query, uint32_t source,
     if (StateSetView at_target = current.Find(target);
         at_target && at_target.Intersects(ann.final_states)) {
       ann.lambda = static_cast<int32_t>(ann.levels.size() - 1);
-      return ann;
+      return;
     }
 
     touched.clear();
@@ -88,20 +82,17 @@ Annotation Annotate(const Snapshot& snap, const Nfa& query, uint32_t source,
         // One move per (vertex, label), shared by every edge of the
         // group: word-parallel OR of the frontier's delta rows, visiting
         // only states that actually carry this label.
-        moved.ZeroAll();
-        ForEachAnd(states, delta.Sources(group.label), [&](uint32_t q) {
-          moved.UnionWithWords(delta.SuccessorWords(group.label, q), wps);
-        });
-        if (moved.None()) continue;
-        const uint64_t* mw = moved.words();
+        uint64_t* mw = moved.mutable_words();
+        ker.Zero(mw);
+        ker.ForEachAnd(states.words(), delta.Sources(group.label).words(),
+                       [&](uint32_t q) {
+                         ker.Or(mw, delta.SuccessorWords(group.label, q));
+                       });
+        if (!ker.Any(mw)) continue;
         for (const LabelIndex::Target& t : adj.Targets(group)) {
           uint64_t* sw = &seen[static_cast<size_t>(t.dst) * wps];
-          uint64_t any_new = 0;
-          for (uint32_t w = 0; w < wps; ++w) {
-            add_buf[w] = mw[w] & ~sw[w];
-            any_new |= add_buf[w];
-          }
-          if (any_new == 0) continue;  // every pair already leveled
+          if (ker.NewBits(add_buf.data(), mw, sw) == 0)
+            continue;  // every pair already leveled
           uint32_t s = slot[t.dst];
           if (s == kNoSlot) {
             s = static_cast<uint32_t>(touched.size());
@@ -110,10 +101,7 @@ Annotation Annotate(const Snapshot& snap, const Nfa& query, uint32_t source,
             slot_words.resize(slot_words.size() + wps, 0);
           }
           uint64_t* nw = &slot_words[static_cast<size_t>(s) * wps];
-          for (uint32_t w = 0; w < wps; ++w) {
-            sw[w] |= add_buf[w];
-            nw[w] |= add_buf[w];
-          }
+          ker.CommitInto(sw, nw, add_buf.data());
         }
       }
     }
@@ -137,6 +125,34 @@ Annotation Annotate(const Snapshot& snap, const Nfa& query, uint32_t source,
 
   // Product exhausted without reaching (target, final): no answer.
   ann.levels.clear();
+}
+
+}  // namespace
+
+Annotation Annotate(const Snapshot& snap, const Nfa& query, uint32_t source,
+                    uint32_t target, const AnnotateOptions& opts) {
+  if (ShardPlan::ClampShards(opts.num_shards, snap.num_vertices()) > 1)
+    return ShardedAnnotate(snap, query, source, target, opts);
+
+  Annotation ann;
+  ann.num_states = query.num_states();
+  ann.source = source;
+  ann.target = target;
+  ann.final_states = query.final_states();
+  if (query.has_epsilon()) ann.eps_closure = query.EpsilonClosures();
+  ann.delta = CompiledDelta(query, ann.eps_closure);  // closures shared
+
+  if (source >= snap.num_vertices() || target >= snap.num_vertices() ||
+      query.num_states() == 0 || query.initial().None())
+    return ann;
+
+  // Tier dispatch: one-word queries run the collapsed single-word
+  // kernels unless a test/bench forces the generic instantiation.
+  const uint32_t wps = ann.words_per_set();
+  if (wps == 1 && !opts.force_multi_word)
+    ProductBfs(snap, query, SingleWordKernel(), &ann);
+  else
+    ProductBfs(snap, query, MultiWordKernel(wps), &ann);
   return ann;
 }
 

@@ -66,6 +66,15 @@ struct AnnotateOptions {
   /// backpressure, they never drop) — the stress tests shrink this to
   /// force the full-ring path.
   size_t ring_capacity_words = 0;
+  /// Test/bench knob for the execution-tier layer (util/word_kernel.h):
+  /// when true, the sequential annotate and trim sweeps run the generic
+  /// multi-word kernels even for one-word (|Q| <= 64) queries, instead
+  /// of dispatching to the collapsed single-word kernels. Results are
+  /// bit-identical either way (asserted by tests/exec_tier_test.cc);
+  /// bench_fastpath uses the flag to measure the kernel win in
+  /// isolation. No effect on the sharded path, which always runs the
+  /// generic loops.
+  bool force_multi_word = false;
 };
 
 struct Annotation {

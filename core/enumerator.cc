@@ -6,11 +6,13 @@ namespace dsw {
 
 TrimmedEnumerator::TrimmedEnumerator(const Annotation& ann,
                                      const TrimmedIndex& index,
-                                     uint32_t source, uint32_t target)
+                                     uint32_t source, uint32_t target,
+                                     bool force_multi_word)
     : index_(&index),
       delta_(&ann.delta),
       lambda_(ann.lambda),
-      wps_(index.words_per_set()) {
+      wps_(index.words_per_set()),
+      single_word_(index.words_per_set() == 1 && !force_multi_word) {
   // The endpoints are baked into the annotation and index; the
   // parameters exist for symmetry with the rest of the pipeline and a
   // mismatch is a caller bug, not a valid different query. The database
@@ -57,7 +59,8 @@ void TrimmedEnumerator::FindNext() {
   // between outputs — the Theorem 2 delay.
   while (true) {
     Frame& f = stack_[depth_];
-    const uint32_t c = f.blist.NextLive(f.states, f.edge_pos, &stats_.probes);
+    const uint32_t c =
+        f.blist.NextLive(f.states, f.edge_pos, &stats_.probes, single_word_);
     if (c < f.blist.num_cand) {
       const TrimmedIndex::CandidateEdge& ce = f.cand[c];
       f.edge_pos = c + 1;
@@ -67,7 +70,7 @@ void TrimmedEnumerator::FindNext() {
       const bool alive = enumerator_detail::AdvanceStates(
           *delta_, wps_, f.states, ce.label,
           index_->UsefulStates(depth_ + 1, ce.next_pos), &next.states,
-          &stats_.row_ors);
+          &stats_.row_ors, single_word_);
       assert(alive && "certificate handed out a dead candidate");
       (void)alive;
       next.vertex = ce.dst;

@@ -45,6 +45,25 @@ namespace dsw {
 
 namespace enumerator_detail {
 
+/// The kernel-generic body of AdvanceStates (see util/word_kernel.h for
+/// the execution-tier story); prefer AdvanceStates, which dispatches.
+template <typename Kernel>
+inline bool AdvanceStatesWith(Kernel ker, const CompiledDelta& delta,
+                              const StateSet& from, uint32_t label,
+                              StateSetView useful_next, StateSet* out,
+                              uint64_t* row_ors) {
+  uint64_t* ow = out->mutable_words();
+  ker.Zero(ow);
+  uint64_t rows = 0;
+  ker.ForEachBit(from.words(), [&](uint32_t q) {
+    ++rows;
+    ker.Or(ow, delta.SuccessorWords(label, q));
+  });
+  if (row_ors) *row_ors += rows;
+  ker.And(ow, useful_next.words());
+  return ker.Any(ow);
+}
+
 /// One enumeration step of the reachable-run set, shared by the stateful
 /// and the memoryless enumerator: out = (union over q in from of
 /// delta[label][q]) AND useful_next. Returns whether any run of the
@@ -53,20 +72,19 @@ namespace enumerator_detail {
 /// \p wps is the word count of one set. When \p row_ors is non-null it
 /// is incremented by the number of delta-row ORs performed (the
 /// ResumableEnumerator's op accounting; the count falls out of the
-/// ForEach for free, no extra set scan).
+/// bit walk for free, no extra set scan — identical in both kernel
+/// tiers). \p allow_single_word is the test/bench knob forcing the
+/// generic multi-word instantiation onto one-word queries.
 inline bool AdvanceStates(const CompiledDelta& delta, uint32_t wps,
                           const StateSet& from, uint32_t label,
                           StateSetView useful_next, StateSet* out,
-                          uint64_t* row_ors = nullptr) {
-  out->ZeroAll();
-  uint64_t rows = 0;
-  from.ForEach([&](uint32_t q) {
-    ++rows;
-    out->UnionWithWords(delta.SuccessorWords(label, q), wps);
-  });
-  if (row_ors) *row_ors += rows;
-  *out &= useful_next;
-  return out->Any();
+                          uint64_t* row_ors = nullptr,
+                          bool allow_single_word = true) {
+  if (wps == 1 && allow_single_word)
+    return AdvanceStatesWith(SingleWordKernel(), delta, from, label,
+                             useful_next, out, row_ors);
+  return AdvanceStatesWith(MultiWordKernel(wps), delta, from, label,
+                           useful_next, out, row_ors);
 }
 
 }  // namespace enumerator_detail
@@ -88,9 +106,12 @@ class TrimmedEnumerator {
   /// \p target must match the ones the annotation was built from. The
   /// database is not consulted at all — candidate edges denormalize
   /// everything — so any number of enumerators can run concurrently over
-  /// one shared (annotation, index) pair.
+  /// one shared (annotation, index) pair. \p force_multi_word is the
+  /// test/bench knob running the generic multi-word kernels even on a
+  /// one-word query (bit-identical answers, order and OpStats).
   TrimmedEnumerator(const Annotation& ann, const TrimmedIndex& index,
-                    uint32_t source, uint32_t target);
+                    uint32_t source, uint32_t target,
+                    bool force_multi_word = false);
 
   /// True while positioned on an answer.
   bool Valid() const { return valid_; }
@@ -122,7 +143,8 @@ class TrimmedEnumerator {
   const TrimmedIndex* index_;
   const CompiledDelta* delta_;  // the annotation's query snapshot
   int32_t lambda_;
-  uint32_t wps_ = 0;  // words per state set, cached off the index
+  uint32_t wps_ = 0;         // words per state set, cached off the index
+  bool single_word_ = true;  // run the single-word kernels (wps == 1)
   // All lambda + 1 frames are allocated up front and reused in place, so
   // steady-state enumeration performs no heap allocation (the per-output
   // delay must not depend on the allocator). stack_[i] describes the

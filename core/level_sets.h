@@ -37,6 +37,11 @@ class LevelSets {
   StateSetView states(size_t i) const {
     return {&words_[i * words_per_set_], num_bits_};
   }
+  /// Mutable word access for in-place state patches (delta repair).
+  /// Membership (the sorted vertex array) cannot be changed this way.
+  uint64_t* mutable_state_words(size_t i) {
+    return &words_[i * words_per_set_];
+  }
 
   /// States at vertex \p v, or a null view when v is not in the level.
   StateSetView Find(uint32_t v) const {
@@ -51,11 +56,33 @@ class LevelSets {
     return static_cast<size_t>(it - vertices_.begin());
   }
 
+  /// Position of the first vertex >= \p v (== size() when none).
+  size_t LowerBound(uint32_t v) const {
+    return static_cast<size_t>(
+        std::lower_bound(vertices_.begin(), vertices_.end(), v) -
+        vertices_.begin());
+  }
+
   /// Appends (v, states). Vertices must arrive in strictly increasing
   /// order; \p words points at words_per_set() words.
   void Append(uint32_t v, const uint64_t* words) {
     vertices_.push_back(v);
     words_.insert(words_.end(), words, words + words_per_set_);
+  }
+
+  void Reserve(size_t n) {
+    vertices_.reserve(n);
+    words_.reserve(n * words_per_set_);
+  }
+
+  /// Appends \p other's entries at positions [begin, end) wholesale.
+  /// The same strictly-increasing-vertex contract as Append applies.
+  void AppendRange(const LevelSets& other, size_t begin, size_t end) {
+    vertices_.insert(vertices_.end(), other.vertices_.begin() + begin,
+                     other.vertices_.begin() + end);
+    words_.insert(words_.end(),
+                  other.words_.begin() + begin * words_per_set_,
+                  other.words_.begin() + end * words_per_set_);
   }
 
   /// Sharded-merge support. ResizeForMerge pre-sizes the level to hold

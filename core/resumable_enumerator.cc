@@ -8,11 +8,13 @@ namespace dsw {
 
 ResumableEnumerator::ResumableEnumerator(const Annotation& ann,
                                          const ResumableIndex& index,
-                                         uint32_t source, uint32_t target)
+                                         uint32_t source, uint32_t target,
+                                         bool force_multi_word)
     : index_(&index),
       delta_(&ann.delta),
       lambda_(ann.lambda),
       wps_(ann.words_per_set()),
+      single_word_(ann.words_per_set() == 1 && !force_multi_word),
       source_(source) {
   // As with TrimmedEnumerator: the endpoints are baked into the
   // annotation; a mismatch is a caller bug. The database is not
@@ -69,8 +71,8 @@ void ResumableEnumerator::FindNext() {
   // pops + lambda pushes between outputs (Theorem 2).
   while (true) {
     Frame& f = stack_[depth_];
-    const uint32_t c =
-        f.blist.NextLive(f.states, f.cur - f.base, &stats_.probes);
+    const uint32_t c = f.blist.NextLive(f.states, f.cur - f.base,
+                                        &stats_.probes, single_word_);
     if (c < f.blist.num_cand) {
       const ResumableIndex::Candidate& ce = index_->At(f.base + c);
       f.cur = f.base + c + 1;
@@ -79,7 +81,7 @@ void ResumableEnumerator::FindNext() {
       const bool alive = enumerator_detail::AdvanceStates(
           *delta_, wps_, f.states, ce.label,
           index_->trimmed().UsefulStates(depth_ + 1, ce.next_pos),
-          &next.states, &stats_.row_ors);
+          &next.states, &stats_.row_ors, single_word_);
       assert(alive && "certificate handed out a dead candidate");
       (void)alive;
       next.vertex = ce.dst;
@@ -144,7 +146,7 @@ bool ResumableEnumerator::SeekAfter(const Walk& prev) {
     if (!enumerator_detail::AdvanceStates(
             *delta_, wps_, f.states, ce.label,
             index_->trimmed().UsefulStates(i + 1, ce.next_pos),
-            &next.states, &stats_.row_ors))
+            &next.states, &stats_.row_ors, single_word_))
       return RejectSeek();  // no accepting run threads through prev
     next.vertex = ce.dst;
     f.cur = cur + 1;  // resume strictly after prev's choice

@@ -56,8 +56,12 @@ class ResumableEnumerator {
   /// answer, like TrimmedEnumerator. The database is not consulted —
   /// the index denormalizes everything — so any number of enumerators
   /// can run concurrently over one shared (annotation, index) pair.
+  /// \p force_multi_word is the test/bench knob running the generic
+  /// multi-word kernels even on a one-word query (bit-identical
+  /// answers, order and OpStats).
   ResumableEnumerator(const Annotation& ann, const ResumableIndex& index,
-                      uint32_t source, uint32_t target);
+                      uint32_t source, uint32_t target,
+                      bool force_multi_word = false);
 
   /// Repositions on the first answer, exactly as if freshly
   /// constructed (stats are kept). Lets a long-lived worker reuse one
@@ -105,6 +109,7 @@ class ResumableEnumerator {
   const CompiledDelta* delta_;
   int32_t lambda_;
   uint32_t wps_ = 0;
+  bool single_word_ = true;  // run the single-word kernels (wps == 1)
   uint32_t source_ = 0;
   StateSet r0_;  // useful(0, source), the root of every (re)run
   bool has_answers_ = false;

@@ -6,16 +6,24 @@
 namespace dsw {
 
 namespace trim_detail {
+namespace {
 
-bool TrimVertex(const LabelIndex& adj, const CompiledDelta& delta,
-                uint32_t wps, uint32_t v, StateSetView states,
-                const LevelSets& next_useful, Scratch* scratch,
-                std::vector<TrimmedIndex::CandidateEdge>* cand_pool,
-                std::vector<uint32_t>* nxt_pool) {
+// The kernel-generic body of TrimVertex (see util/word_kernel.h): one
+// instantiation per execution tier, bit-identical results.
+template <typename Kernel>
+bool TrimVertexImpl(Kernel ker, const LabelIndex& adj,
+                    const CompiledDelta& delta, uint32_t v,
+                    StateSetView states, const LevelSets& next_useful,
+                    Scratch* scratch,
+                    std::vector<TrimmedIndex::CandidateEdge>* cand_pool,
+                    std::vector<uint32_t>* nxt_pool) {
+  const uint32_t wps = ker.wps();
   StateSet& useful_here = scratch->useful_here;
   StateSet& edge_q = scratch->edge_q;
   std::vector<uint64_t>& cand_src = scratch->cand_src;
-  useful_here.ZeroAll();
+  uint64_t* uhw = useful_here.mutable_words();
+  uint64_t* eqw = edge_q.mutable_words();
+  ker.Zero(uhw);
   cand_src.clear();
   const size_t cand_begin = cand_pool->size();
   for (const LabelIndex::Group& group : adj.GroupsOf(v)) {
@@ -31,23 +39,22 @@ bool TrimVertex(const LabelIndex& adj, const CompiledDelta& delta,
           last_ok = false;
         } else {
           last_pos = static_cast<uint32_t>(pos);
-          edge_q.ZeroAll();
-          next_useful.states(pos).ForEach([&](uint32_t q_next) {
-            edge_q.UnionWithWords(delta.ReverseWords(group.label, q_next),
-                                  wps);
+          ker.Zero(eqw);
+          ker.ForEachBit(next_useful.states(pos).words(), [&](uint32_t q_next) {
+            ker.Or(eqw, delta.ReverseWords(group.label, q_next));
           });
-          edge_q &= states;
-          last_ok = edge_q.Any();
+          ker.And(eqw, states.words());
+          last_ok = ker.Any(eqw);
         }
       }
       if (!last_ok) continue;
       cand_pool->push_back(TrimmedIndex::CandidateEdge{t.edge, t.dst,
                                                        group.label, last_pos});
       cand_src.insert(cand_src.end(), edge_q.words(), edge_q.words() + wps);
-      useful_here |= edge_q;
+      ker.Or(uhw, edge_q.words());
     }
   }
-  if (useful_here.None()) return false;
+  if (!ker.Any(uhw)) return false;
 
   // The vertex's B-list block: one next-usable row per useful state.
   // useful_here is exactly the union of the candidates' usable-source
@@ -73,6 +80,20 @@ bool TrimVertex(const LabelIndex& adj, const CompiledDelta& delta,
   return true;
 }
 
+}  // namespace
+
+bool TrimVertex(const LabelIndex& adj, const CompiledDelta& delta,
+                uint32_t wps, uint32_t v, StateSetView states,
+                const LevelSets& next_useful, Scratch* scratch,
+                std::vector<TrimmedIndex::CandidateEdge>* cand_pool,
+                std::vector<uint32_t>* nxt_pool, bool force_multi_word) {
+  if (wps == 1 && !force_multi_word)
+    return TrimVertexImpl(SingleWordKernel(), adj, delta, v, states,
+                          next_useful, scratch, cand_pool, nxt_pool);
+  return TrimVertexImpl(MultiWordKernel(wps), adj, delta, v, states,
+                        next_useful, scratch, cand_pool, nxt_pool);
+}
+
 }  // namespace trim_detail
 
 TrimmedIndex::TrimmedIndex(const Snapshot& snap, const Annotation& ann,
@@ -82,11 +103,12 @@ TrimmedIndex::TrimmedIndex(const Snapshot& snap, const Annotation& ann,
     ShardedTrimBuild(*this, snap, ann, opts);
     return;
   }
-  BuildSequential(snap, ann);
+  BuildSequential(snap, ann, opts.force_multi_word);
 }
 
 void TrimmedIndex::BuildSequential(const Snapshot& snap,
-                                   const Annotation& ann) {
+                                   const Annotation& ann,
+                                   bool force_multi_word) {
   db_ = &snap.db();
   generation_ = snap.generation();
   if (!ann.reachable()) return;
@@ -131,7 +153,7 @@ void TrimmedIndex::BuildSequential(const Snapshot& snap,
       const size_t block_off = nxt_pool_.size();
       if (!trim_detail::TrimVertex(adj, delta, wps_, v, level.states(vi),
                                    next_useful, &scratch, &cand_pool_,
-                                   &nxt_pool_))
+                                   &nxt_pool_, force_multi_word))
         continue;
       useful_[i].Append(v, scratch.useful_here.words());
       cand_ranges_[i].emplace_back(cand_begin,

@@ -64,6 +64,7 @@
 #include "core/database.h"
 #include "core/level_sets.h"
 #include "util/state_set.h"
+#include "util/word_kernel.h"
 
 namespace dsw {
 
@@ -96,24 +97,31 @@ class TrimmedIndex {
     /// parallel walk over r's slots: O(|r|) loads plus O(|Q|/64) word
     /// ops, independent of num_cand. When \p probes is non-null it is
     /// incremented by the number of slot loads (the op-count proxy the
-    /// delay tests assert on).
+    /// delay tests assert on — identical in both kernel tiers).
+    /// \p allow_single_word is the test/bench knob forcing the generic
+    /// multi-word instantiation onto one-word queries.
     uint32_t NextLive(const StateSet& r, uint32_t from,
-                      uint64_t* probes = nullptr) const {
+                      uint64_t* probes = nullptr,
+                      bool allow_single_word = true) const {
+      const uint32_t n = static_cast<uint32_t>(useful.num_words());
+      if (n == 1 && allow_single_word)
+        return NextLiveWith(SingleWordKernel(), r, from, probes);
+      return NextLiveWith(MultiWordKernel(n), r, from, probes);
+    }
+
+    /// The kernel-generic body (see util/word_kernel.h for the tier
+    /// story); prefer NextLive, which dispatches.
+    template <typename Kernel>
+    uint32_t NextLiveWith(Kernel ker, const StateSet& r, uint32_t from,
+                          uint64_t* probes) const {
       const uint64_t* uw = useful.words();
       const uint64_t* rw = r.words();
-      const size_t n = useful.num_words();
       // Fast path: when every useful state is reachable (r == useful),
       // every remaining candidate is live — each one is usable from
       // some useful state by construction — so the next live candidate
       // is `from` itself. This is the common case on non-adversarial
       // prefixes and costs one word-compare per set word.
-      bool full = true;
-      for (size_t wi = 0; wi < n; ++wi)
-        if (uw[wi] != rw[wi]) {
-          full = false;
-          break;
-        }
-      if (full) {
+      if (ker.Equal(uw, rw)) {
         if (probes) ++*probes;
         return from;
       }
@@ -121,7 +129,7 @@ class TrimmedIndex {
       uint32_t best = num_cand;
       uint32_t base = 0;
       uint64_t count = 0;
-      for (size_t wi = 0; wi < n; ++wi) {
+      for (uint32_t wi = 0; wi < ker.wps(); ++wi) {
         const uint64_t u = uw[wi];
         uint64_t both = u & rw[wi];
         while (both) {
@@ -252,7 +260,10 @@ class TrimmedIndex {
   TrimmedIndex() = default;
 
   // The sequential backward sweep (the num_shards <= 1 path).
-  void BuildSequential(const Snapshot& snap, const Annotation& ann);
+  // force_multi_word forwards AnnotateOptions::force_multi_word to the
+  // per-vertex kernel dispatch.
+  void BuildSequential(const Snapshot& snap, const Annotation& ann,
+                       bool force_multi_word = false);
 
   uint32_t wps_ = 0;
   std::vector<LevelSets> useful_;  // per level, sorted vertices
@@ -290,12 +301,15 @@ struct Scratch {
 /// block to *nxt_pool; returns that usefulness, with the useful set
 /// left in scratch->useful_here. CandidateEdge::next_pos is a position
 /// into \p next_useful, so passing the *merged* next level keeps the
-/// sharded build's positions global.
+/// sharded build's positions global. Dispatches to the single-word
+/// kernel when wps == 1 unless \p force_multi_word (results are
+/// bit-identical either way).
 bool TrimVertex(const LabelIndex& adj, const CompiledDelta& delta,
                 uint32_t wps, uint32_t v, StateSetView states,
                 const LevelSets& next_useful, Scratch* scratch,
                 std::vector<TrimmedIndex::CandidateEdge>* cand_pool,
-                std::vector<uint32_t>* nxt_pool);
+                std::vector<uint32_t>* nxt_pool,
+                bool force_multi_word = false);
 
 }  // namespace trim_detail
 

@@ -120,8 +120,14 @@ RepairedPlan RepairPlan(const Snapshot& snap, const EdgeDelta& delta,
   if (!rep.ok) return out;
   TrimmedIndex trimmed =
       DeltaTrim(snap, ann, old.index.trimmed(), rep, delta, ctx);
-  out.value = std::make_shared<const PreparedQuery>(snap, std::move(ann),
-                                                    std::move(trimmed));
+  // The tier carries over, except that inserted edges may have given a
+  // kSimple plan's data a second label — recheck and demote (the query
+  // half of the classification cannot change, so no promotion exists).
+  ExecTier tier = old.tier;
+  if (tier == ExecTier::kSimple && !DataSingleLabeled(snap))
+    tier = ann.num_states <= 64 ? ExecTier::kSingleWord : ExecTier::kGeneral;
+  out.value = std::make_shared<const PreparedQuery>(
+      snap, std::move(ann), std::move(trimmed), tier);
   out.order_preserved = !rep.lambda_changed;
   return out;
 }
@@ -237,8 +243,23 @@ QueryId QueryEngine::Prepare(const Nfa& query, uint32_t source,
         return std::make_shared<const PreparedQuery>(snap, query, source,
                                                      target, opts);
       });
+  BumpTier(prepared->tier);
   std::lock_guard<std::mutex> lock(mu_);
   return RegisterLocked(std::move(prepared));
+}
+
+void QueryEngine::BumpTier(ExecTier tier) {
+  switch (tier) {
+    case ExecTier::kSimple:
+      tier_simple_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case ExecTier::kSingleWord:
+      tier_single_word_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case ExecTier::kGeneral:
+      tier_general_.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
 }
 
 std::vector<QueryId> QueryEngine::PrepareBatch(
@@ -252,6 +273,9 @@ std::vector<QueryId> QueryEngine::PrepareBatch(
     snap = snapshot_;
   }
   CanonicalAutomaton canon = CanonicalizeAutomaton(query);
+  // Tier depends only on (snapshot, query), not the source: classify
+  // once for the whole batch.
+  const ExecTier tier = ClassifyQuery(snap, query).tier;
   std::vector<PlanKey> keys;
   keys.reserve(sources.size());
   for (uint32_t s : sources)
@@ -261,8 +285,8 @@ std::vector<QueryId> QueryEngine::PrepareBatch(
   // each slice is bit-identical to a per-source Annotate, so cache
   // entries filled here and by single Prepare() are interchangeable.
   std::vector<PlanCache::Value> values = cache_.GetOrBuildBatch(
-      keys, [&snap, &query, &sources, target,
-             &opts](const std::vector<size_t>& idx) {
+      keys, [&snap, &query, &sources, target, &opts,
+             tier](const std::vector<size_t>& idx) {
         std::vector<uint32_t> batch_sources;
         batch_sources.reserve(idx.size());
         for (size_t i : idx) batch_sources.push_back(sources[i]);
@@ -272,11 +296,12 @@ std::vector<QueryId> QueryEngine::PrepareBatch(
         built.reserve(idx.size());
         for (size_t j = 0; j < idx.size(); ++j)
           built.push_back(std::make_shared<const PreparedQuery>(
-              snap, ms.Slice(j), opts));
+              snap, ms.Slice(j), opts, tier));
         return built;
       });
   std::vector<QueryId> ids;
   ids.reserve(values.size());
+  for (const PlanCache::Value& v : values) BumpTier(v->tier);
   std::lock_guard<std::mutex> lock(mu_);
   for (PlanCache::Value& v : values) ids.push_back(RegisterLocked(std::move(v)));
   return ids;
@@ -379,6 +404,10 @@ EngineStats QueryEngine::Stats() const {
       frontend_thompson_.load(std::memory_order_relaxed);
   stats.frontend_glushkov =
       frontend_glushkov_.load(std::memory_order_relaxed);
+  stats.tier_simple = tier_simple_.load(std::memory_order_relaxed);
+  stats.tier_single_word =
+      tier_single_word_.load(std::memory_order_relaxed);
+  stats.tier_general = tier_general_.load(std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(mu_);
   stats.sessions_retired = sessions_retired_;
   stats.plans_upgraded = plans_upgraded_;

@@ -118,6 +118,12 @@ struct EngineStats {
   uint64_t worker_cache_evictions = 0;  // enumerators dropped by the LRU cap
   uint64_t frontend_thompson = 0;       // PrepareRegex picks, per front-end
   uint64_t frontend_glushkov = 0;
+  // Execution tier of each resolved Prepare/PrepareBatch plan
+  // (core/query_traits.h) — cache hits count too, so the three sum to
+  // the number of plans handed out, not the number built.
+  uint64_t tier_simple = 0;
+  uint64_t tier_single_word = 0;
+  uint64_t tier_general = 0;
 };
 
 /// Status-or result of PrepareRegex.
@@ -290,6 +296,11 @@ class QueryEngine {
   std::atomic<uint64_t> worker_cache_evictions_{0};
   std::atomic<uint64_t> frontend_thompson_{0};
   std::atomic<uint64_t> frontend_glushkov_{0};
+  std::atomic<uint64_t> tier_simple_{0};
+  std::atomic<uint64_t> tier_single_word_{0};
+  std::atomic<uint64_t> tier_general_{0};
+
+  void BumpTier(ExecTier tier);
 
   std::vector<std::thread> workers_;
 };

@@ -1,0 +1,425 @@
+// The execution-tier layer (core/query_traits.h, util/word_kernel.h):
+//
+//  - ClassifyQuery unit tests: the three tiers, the traits flags, and
+//    the deterministic-automaton edge cases (duplicate parallel
+//    transitions, multiple initials, epsilon moves).
+//  - SimpleEnumerator::Applicable negatives: multi-label data,
+//    nondeterministic query, epsilon-transitions.
+//  - Cross-tier bit-identity: the collapsed single-word kernels vs the
+//    generic multi-word loops forced onto the same one-word query
+//    (AnnotateOptions::force_multi_word, the enumerators' ctor flag)
+//    must agree level for level, candidate for candidate, B-list row
+//    for B-list row, answer for answer — and probe for probe (OpStats).
+//    Queries over 64 states exercise the genuinely-multi-word path.
+//  - Simple-vs-trimmed oracle: SimpleEnumerator's answer sequence is
+//    bit-identical to the general pipeline's on simple instances.
+//  - Engine per-tier prepare counters.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "automaton/thompson.h"
+#include "core/annotate.h"
+#include "core/enumerator.h"
+#include "core/query_traits.h"
+#include "core/resumable_enumerator.h"
+#include "core/resumable_index.h"
+#include "core/simple_enumerator.h"
+#include "core/trimmed_index.h"
+#include "engine/engine.h"
+#include "regex/regex_parser.h"
+#include "workload/generators.h"
+#include "workload/queries.h"
+
+namespace dsw {
+namespace {
+
+// ------------------------------------------------------- bit equality
+
+void ExpectLevelSetsEqual(const LevelSets& a, const LevelSets& b,
+                          const char* what, uint32_t level) {
+  SCOPED_TRACE(std::string(what) + " level " + std::to_string(level));
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_EQ(a.words_per_set(), b.words_per_set());
+  ASSERT_EQ(a.vertices(), b.vertices());
+  for (size_t i = 0; i < a.size(); ++i) {
+    StateSetView av = a.states(i);
+    StateSetView bv = b.states(i);
+    ASSERT_EQ(av.num_words(), bv.num_words());
+    for (size_t w = 0; w < av.num_words(); ++w)
+      ASSERT_EQ(av.words()[w], bv.words()[w])
+          << "vertex " << a.vertex(i) << " word " << w;
+  }
+}
+
+void ExpectAnnotationsEqual(const Annotation& a, const Annotation& b) {
+  ASSERT_EQ(a.lambda, b.lambda);
+  ASSERT_EQ(a.num_states, b.num_states);
+  ASSERT_EQ(a.levels.size(), b.levels.size());
+  for (size_t i = 0; i < a.levels.size(); ++i)
+    ExpectLevelSetsEqual(a.levels[i], b.levels[i], "annotation",
+                         static_cast<uint32_t>(i));
+}
+
+void ExpectTrimmedEqual(const TrimmedIndex& a, const TrimmedIndex& b) {
+  ASSERT_EQ(a.num_slots(), b.num_slots());
+  ASSERT_EQ(a.num_levels(), b.num_levels());
+  ASSERT_EQ(a.words_per_set(), b.words_per_set());
+  for (uint32_t l = 0; l < a.num_levels(); ++l) {
+    ExpectLevelSetsEqual(a.UsefulLevel(l), b.UsefulLevel(l), "useful", l);
+    if (l + 1 == a.num_levels()) continue;  // level lambda: no candidates
+    for (size_t p = 0; p < a.UsefulLevel(l).size(); ++p) {
+      auto ca = a.CandidatesAt(l, p);
+      auto cb = b.CandidatesAt(l, p);
+      ASSERT_EQ(ca.size(), cb.size()) << "level " << l << " pos " << p;
+      for (size_t c = 0; c < ca.size(); ++c) {
+        EXPECT_EQ(ca[c].edge, cb[c].edge);
+        EXPECT_EQ(ca[c].dst, cb[c].dst);
+        EXPECT_EQ(ca[c].label, cb[c].label);
+        EXPECT_EQ(ca[c].next_pos, cb[c].next_pos);
+      }
+      TrimmedIndex::BList ba = a.BListAt(l, p);
+      TrimmedIndex::BList bb = b.BListAt(l, p);
+      ASSERT_EQ(ba.num_cand, bb.num_cand);
+      const size_t rows = ba.useful.Count();
+      ASSERT_EQ(rows, static_cast<size_t>(bb.useful.Count()));
+      ASSERT_EQ(std::memcmp(ba.nxt, bb.nxt,
+                            rows * (ba.num_cand + 1) * sizeof(uint32_t)),
+                0)
+          << "B-list block differs at level " << l << " pos " << p;
+    }
+  }
+}
+
+// Drains up to \p cap answers. Answer sets can be huge (the Thompson
+// family's layered graphs); a capped prefix compared on BOTH sides is
+// still a bit-identity check — same cap, same claimed order.
+template <typename Enumerator>
+std::vector<Walk> DrainAll(Enumerator* en, size_t cap = 1 << 14) {
+  std::vector<Walk> walks;
+  while (en->Valid() && walks.size() < cap) {
+    walks.push_back(en->walk());
+    en->Next();
+  }
+  return walks;
+}
+
+void ExpectSameWalks(const std::vector<Walk>& a, const std::vector<Walk>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i)
+    ASSERT_EQ(a[i].edges, b[i].edges) << "answer " << i;
+}
+
+// The whole cross-tier oracle: default (single-word for one-word
+// queries) vs forced multi-word — annotation, trimmed structure,
+// enumeration sequence, op accounting.
+void ExpectTiersBitIdentical(Instance& inst, const Nfa& query) {
+  Snapshot snap = inst.db.Freeze();
+  Annotation fast_ann = Annotate(snap, query, inst.source, inst.target);
+  AnnotateOptions forced;
+  forced.force_multi_word = true;
+  Annotation slow_ann =
+      Annotate(snap, query, inst.source, inst.target, forced);
+  ExpectAnnotationsEqual(fast_ann, slow_ann);
+
+  TrimmedIndex fast_index(snap, fast_ann);
+  TrimmedIndex slow_index(snap, slow_ann, forced);
+  ExpectTrimmedEqual(fast_index, slow_index);
+
+  TrimmedEnumerator fast_en(fast_ann, fast_index, inst.source, inst.target);
+  TrimmedEnumerator slow_en(slow_ann, slow_index, inst.source, inst.target,
+                            /*force_multi_word=*/true);
+  std::vector<Walk> fast = DrainAll(&fast_en);
+  std::vector<Walk> slow = DrainAll(&slow_en);
+  ExpectSameWalks(fast, slow);
+  // The Theorem 2 op accounting must not depend on the kernel tier.
+  EXPECT_EQ(fast_en.stats().row_ors, slow_en.stats().row_ors);
+  EXPECT_EQ(fast_en.stats().probes, slow_en.stats().probes);
+
+  ResumableIndex fast_ri(snap, fast_ann);
+  ResumableIndex slow_ri(snap, slow_ann, forced);
+  ResumableEnumerator fast_ren(fast_ann, fast_ri, inst.source, inst.target);
+  ResumableEnumerator slow_ren(slow_ann, slow_ri, inst.source, inst.target,
+                               /*force_multi_word=*/true);
+  std::vector<Walk> fast_r = DrainAll(&fast_ren);
+  std::vector<Walk> slow_r = DrainAll(&slow_ren);
+  ExpectSameWalks(fast_r, fast);  // and both match the stateful order
+  ExpectSameWalks(fast_r, slow_r);
+  EXPECT_EQ(fast_ren.stats().total(), slow_ren.stats().total());
+
+  // SeekAfter mid-sequence: both tiers resume onto the same successor.
+  if (fast.size() >= 2) {
+    const Walk& anchor = fast[fast.size() / 2];
+    ASSERT_TRUE(fast_ren.SeekAfter(anchor));
+    ASSERT_TRUE(slow_ren.SeekAfter(anchor));
+    ASSERT_EQ(fast_ren.Valid(), slow_ren.Valid());
+    if (fast_ren.Valid()) {
+      EXPECT_EQ(fast_ren.walk().edges, slow_ren.walk().edges);
+    }
+  }
+}
+
+// ------------------------------------------------------ classification
+
+TEST(QueryTraitsTest, GridAnyKIsSimple) {
+  Instance inst = Grid(4, 5);
+  Snapshot snap = inst.db.Freeze();
+  QueryTraits traits = ClassifyQuery(snap, AnyKDfa(7, 1));
+  EXPECT_EQ(traits.tier, ExecTier::kSimple);
+  EXPECT_TRUE(traits.data_single_label);
+  EXPECT_TRUE(traits.query_deterministic);
+  EXPECT_TRUE(traits.single_word);
+  EXPECT_TRUE(SimpleEnumerator::Applicable(snap, AnyKDfa(7, 1)));
+}
+
+TEST(QueryTraitsTest, MultiLabelDataIsSingleWordNotSimple) {
+  Instance inst = BubbleChain(5, 2);  // top l0, bottom l1
+  Snapshot snap = inst.db.Freeze();
+  Nfa dfa = AnyKDfa(10, 2);  // still deterministic
+  QueryTraits traits = ClassifyQuery(snap, dfa);
+  EXPECT_EQ(traits.tier, ExecTier::kSingleWord);
+  EXPECT_FALSE(traits.data_single_label);
+  EXPECT_TRUE(traits.query_deterministic);
+  EXPECT_FALSE(SimpleEnumerator::Applicable(snap, dfa));
+}
+
+TEST(QueryTraitsTest, NondeterministicQueryIsNotSimple) {
+  Instance inst = Grid(4, 4);  // single-labeled
+  Snapshot snap = inst.db.Freeze();
+  Nfa staircase = StaircaseNfa(2, 1);  // loop + advance on one label
+  QueryTraits traits = ClassifyQuery(snap, staircase);
+  EXPECT_EQ(traits.tier, ExecTier::kSingleWord);
+  EXPECT_TRUE(traits.data_single_label);
+  EXPECT_FALSE(traits.query_deterministic);
+  EXPECT_FALSE(SimpleEnumerator::Applicable(snap, staircase));
+}
+
+TEST(QueryTraitsTest, EpsilonQueryIsNotSimple) {
+  Instance inst = Grid(4, 4);
+  Snapshot snap = inst.db.Freeze();
+  RegexParseResult ast = ParseRegex(ContainsL0Regex(1));
+  ASSERT_TRUE(ast.ok()) << ast.error();
+  Nfa thompson = ThompsonNfa(*ast.value(), inst.db.mutable_dict());
+  ASSERT_GT(thompson.num_epsilon_transitions(), 0u);
+  QueryTraits traits = ClassifyQuery(snap, thompson);
+  EXPECT_FALSE(traits.query_deterministic);
+  EXPECT_NE(traits.tier, ExecTier::kSimple);
+  EXPECT_FALSE(SimpleEnumerator::Applicable(snap, thompson));
+}
+
+TEST(QueryTraitsTest, Over64StatesIsGeneral) {
+  Instance inst = BubbleChain(4, 2);
+  Snapshot snap = inst.db.Freeze();
+  Nfa big = StaircaseNfa(70, 2);  // 71 states: two words per set
+  QueryTraits traits = ClassifyQuery(snap, big);
+  EXPECT_EQ(traits.tier, ExecTier::kGeneral);
+  EXPECT_FALSE(traits.single_word);
+}
+
+TEST(QueryTraitsTest, SimpleBeatsSingleWord) {
+  // A simple query with |Q| <= 64 reports kSimple, not kSingleWord.
+  Instance inst = Grid(3, 3);
+  Snapshot snap = inst.db.Freeze();
+  QueryTraits traits = ClassifyQuery(snap, AnyKDfa(4, 1));
+  EXPECT_TRUE(traits.single_word);
+  EXPECT_EQ(traits.tier, ExecTier::kSimple);
+}
+
+TEST(QueryTraitsTest, DeterminismEdgeCases) {
+  Instance inst = Grid(2, 2);
+  Snapshot snap = inst.db.Freeze();
+
+  // Duplicate parallel transitions to the SAME successor are tolerated.
+  Nfa dup(2);
+  dup.AddInitial(0);
+  dup.AddFinal(1);
+  dup.AddTransition(0, 0u, 1);
+  dup.AddTransition(0, 0u, 1);
+  EXPECT_TRUE(QueryDeterministic(dup));
+  EXPECT_EQ(ClassifyQuery(snap, dup).tier, ExecTier::kSimple);
+
+  // Two distinct successors on one (state, label) are not.
+  Nfa fork(3);
+  fork.AddInitial(0);
+  fork.AddFinal(2);
+  fork.AddTransition(0, 0u, 1);
+  fork.AddTransition(0, 0u, 2);
+  EXPECT_FALSE(QueryDeterministic(fork));
+
+  // Multiple initial states are not.
+  Nfa two_init(2);
+  two_init.AddInitial(0);
+  two_init.AddInitial(1);
+  two_init.AddFinal(1);
+  two_init.AddTransition(0, 0u, 1);
+  EXPECT_FALSE(QueryDeterministic(two_init));
+
+  // The empty automaton is not (vacuously rejected).
+  EXPECT_FALSE(QueryDeterministic(Nfa(0)));
+}
+
+TEST(QueryTraitsTest, EdgelessSnapshotIsSingleLabeled) {
+  Database db;
+  db.labels().Intern("l0");
+  db.AddVertices(3);
+  Snapshot snap = db.Freeze();
+  EXPECT_TRUE(DataSingleLabeled(snap));
+  EXPECT_EQ(ClassifyQuery(snap, AnyKDfa(2, 1)).tier, ExecTier::kSimple);
+}
+
+TEST(ExecTierTest, TierNames) {
+  EXPECT_STREQ(ExecTierName(ExecTier::kSimple), "simple");
+  EXPECT_STREQ(ExecTierName(ExecTier::kSingleWord), "single_word");
+  EXPECT_STREQ(ExecTierName(ExecTier::kGeneral), "general");
+}
+
+// ---------------------------------------- cross-tier bit-identity
+
+TEST(ExecTierTest, GridBitIdenticalAcrossKernels) {
+  Instance inst = Grid(7, 9);
+  ExpectTiersBitIdentical(inst, StaircaseNfa(1, 1));
+}
+
+TEST(ExecTierTest, BubbleChainBitIdenticalAcrossKernels) {
+  Instance inst = BubbleChain(7, 2);
+  ExpectTiersBitIdentical(inst, StaircaseNfa(2, 2));
+}
+
+TEST(ExecTierTest, DeadFanoutCertificatesBitIdenticalAcrossKernels) {
+  // The dead-candidate B-list machinery: NextLive's non-full path must
+  // probe identically in both kernel instantiations.
+  Instance inst = DeadFanout(13, 4);
+  ExpectTiersBitIdentical(inst, ForkChainNfa(4));
+}
+
+TEST(ExecTierTest, LayeredGraphBitIdenticalAcrossKernels) {
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    LayeredGraphParams params;
+    params.layers = 6;
+    params.width = 12;
+    params.edges_per_vertex = 3;
+    params.seed = seed;
+    Instance inst = LayeredGraph(params);
+    ExpectTiersBitIdentical(inst, StaircaseNfa(2, 2));
+  }
+}
+
+TEST(ExecTierTest, ThompsonEpsilonBitIdenticalAcrossKernels) {
+  Instance inst = LayeredGraph({});
+  RegexParseResult ast = ParseRegex(ContainsL0Regex(2));
+  ASSERT_TRUE(ast.ok()) << ast.error();
+  Nfa thompson = ThompsonNfa(*ast.value(), inst.db.mutable_dict());
+  ASSERT_GT(thompson.num_epsilon_transitions(), 0u);
+  ExpectTiersBitIdentical(inst, thompson);
+}
+
+TEST(ExecTierTest, Over64StatesRunsMultiWordEitherWay) {
+  // wps = 2: force_multi_word is a no-op by construction, and the
+  // genuinely multi-word instantiation must still be self-consistent.
+  Instance inst = BubbleChain(4, 2);
+  Nfa big = StaircaseNfa(70, 2);
+  ASSERT_GT(big.num_states(), 64u);
+  ExpectTiersBitIdentical(inst, big);
+}
+
+TEST(ExecTierTest, UnreachableTargetBitIdenticalAcrossKernels) {
+  Instance inst = DeadFanout(4, 3);
+  Nfa query(2);
+  query.AddInitial(0);
+  query.AddFinal(1);
+  query.AddTransition(0, 1u, 1);  // demands an l1 step the data lacks
+  query.AddTransition(1, 1u, 1);
+  ExpectTiersBitIdentical(inst, query);
+}
+
+// ------------------------------------------- simple-vs-trimmed oracle
+
+void ExpectSimpleMatchesTrimmed(Instance& inst, const Nfa& dfa) {
+  Snapshot snap = inst.db.Freeze();
+  ASSERT_TRUE(SimpleEnumerator::Applicable(snap, dfa));
+  SimpleEnumerator simple(snap, dfa, inst.source, inst.target);
+
+  Annotation ann = Annotate(snap, dfa, inst.source, inst.target);
+  TrimmedIndex index(snap, ann);
+  TrimmedEnumerator general(ann, index, inst.source, inst.target);
+
+  EXPECT_EQ(simple.lambda(), ann.lambda);
+  std::vector<Walk> fast = DrainAll(&simple);
+  std::vector<Walk> slow = DrainAll(&general);
+  ExpectSameWalks(fast, slow);
+}
+
+TEST(SimpleEnumeratorTest, GridMatchesGeneralPipeline) {
+  Instance inst = Grid(5, 7);
+  ExpectSimpleMatchesTrimmed(inst, AnyKDfa(10, 1));
+}
+
+TEST(SimpleEnumeratorTest, BubbleChainMatchesGeneralPipeline) {
+  Instance inst = BubbleChain(8, 1);  // 256 answers, lambda = 16
+  ExpectSimpleMatchesTrimmed(inst, AnyKDfa(16, 1));
+}
+
+TEST(SimpleEnumeratorTest, StarOfChainsMatchesGeneralPipeline) {
+  Instance inst = StarOfChains(9, 5, 1);
+  ExpectSimpleMatchesTrimmed(inst, AnyKDfa(5, 1));
+}
+
+TEST(SimpleEnumeratorTest, NoAnswerIsInvalid) {
+  Instance inst = Grid(3, 3);
+  Snapshot snap = inst.db.Freeze();
+  // Walks of length 3 cannot end at the far corner (lambda = 4).
+  Nfa dfa = AnyKDfa(3, 1);
+  ASSERT_TRUE(SimpleEnumerator::Applicable(snap, dfa));
+  SimpleEnumerator en(snap, dfa, inst.source, inst.target);
+  EXPECT_FALSE(en.Valid());
+  EXPECT_EQ(en.lambda(), -1);
+}
+
+TEST(SimpleEnumeratorTest, LambdaZeroYieldsTheEmptyWalk) {
+  Instance inst = Grid(3, 3);
+  Snapshot snap = inst.db.Freeze();
+  Nfa dfa = AnyKDfa(0, 1);  // accepts exactly the empty word
+  ASSERT_TRUE(SimpleEnumerator::Applicable(snap, dfa));
+  SimpleEnumerator en(snap, dfa, inst.source, inst.source);
+  ASSERT_TRUE(en.Valid());
+  EXPECT_EQ(en.lambda(), 0);
+  EXPECT_TRUE(en.walk().edges.empty());
+  en.Next();
+  EXPECT_FALSE(en.Valid());
+}
+
+// --------------------------------------------------- engine counters
+
+TEST(ExecTierTest, EnginePerTierPrepareCounters) {
+  Instance inst = Grid(4, 4);
+  QueryEngine engine(2);
+  engine.InstallSnapshot(inst.db.Freeze());
+
+  engine.Prepare(AnyKDfa(6, 1), inst.source, inst.target);     // simple
+  engine.Prepare(StaircaseNfa(2, 1), inst.source, inst.target);  // 1-word
+  engine.Prepare(StaircaseNfa(70, 1), inst.source, inst.target);  // general
+  EngineStats stats = engine.Stats();
+  EXPECT_EQ(stats.tier_simple, 1u);
+  EXPECT_EQ(stats.tier_single_word, 1u);
+  EXPECT_EQ(stats.tier_general, 1u);
+
+  // Cache hits count too: the counters tally plans handed out.
+  engine.Prepare(AnyKDfa(6, 1), inst.source, inst.target);
+  stats = engine.Stats();
+  EXPECT_EQ(stats.tier_simple, 2u);
+  EXPECT_EQ(stats.plan_cache.hits, 1u);
+
+  // PrepareBatch classifies once and tags every slice.
+  std::vector<uint32_t> sources = {inst.source, 1u, 2u};
+  engine.PrepareBatch(AnyKDfa(6, 1), sources, inst.target);
+  stats = engine.Stats();
+  EXPECT_EQ(stats.tier_simple, 5u);
+}
+
+}  // namespace
+}  // namespace dsw
